@@ -1,0 +1,533 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (the examples
+// E1–E4 and the Section III claims), plus micro-benchmarks of the engine
+// and ablation benches for the design choices called out in DESIGN.md.
+//
+// The experiment benches report the paper's headline numbers as custom
+// metrics (var/mean², KS distance, deviation fractions, plan counts,
+// Pearson r) so `go test -bench=.` regenerates the entire evaluation.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bsbm"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.SmallScale())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// --- Paper experiments -----------------------------------------------------
+
+// BenchmarkE1VarianceQ4 regenerates E1a: BSBM-BI Q4 runtime variance under
+// uniform sampling (paper: variance 674e6 ms², i.e. var/mean² ≫ 1).
+func BenchmarkE1VarianceQ4(b *testing.B) {
+	e := env(b)
+	var last *experiments.E1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Q4VarOverMeanSq, "var/mean2")
+	b.ReportMetric(last.Q4RuntimeVarianceMs2, "runtime-var-ms2")
+}
+
+// BenchmarkE1NormalityQ2 regenerates E1b: BSBM-BI Q2's KS distance from a
+// fitted normal distribution (paper: 0.89 with p ≈ 1e-21).
+func BenchmarkE1NormalityQ2(b *testing.B) {
+	e := env(b)
+	var last *experiments.E1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Q2KS.D, "KS-distance")
+	b.ReportMetric(last.Q2KS.PValue, "KS-p")
+}
+
+// BenchmarkE2StabilityQ2 regenerates the E2 table: LDBC Q2 over independent
+// uniform groups (paper: average deviates up to 40%, percentiles up to
+// 100%).
+func BenchmarkE2StabilityQ2(b *testing.B) {
+	e := env(b)
+	var last *experiments.E2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E2(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.SNBQ2.AvgDeviation*100, "snb-avg-dev-%")
+	b.ReportMetric(last.SNBQ2.MedianDeviation*100, "snb-med-dev-%")
+	b.ReportMetric(last.BSBMQ2.AvgDeviation*100, "bsbm-avg-dev-%")
+}
+
+// BenchmarkE3DistributionQ4 regenerates the E3 table: BSBM-BI Q4's bimodal
+// runtime distribution (paper: mean/median > 10, q95/median ≈ 50).
+func BenchmarkE3DistributionQ4(b *testing.B) {
+	e := env(b)
+	var last *experiments.E3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MeanMedianRatio, "mean/median")
+	b.ReportMetric(last.GapRatio, "mode-gap-x")
+	b.ReportMetric(last.FracNearMean*100, "near-mean-%")
+}
+
+// BenchmarkE4PlanVariability regenerates E4: the number of distinct optimal
+// plans for LDBC Q3 across country pairs (paper: at least 2 — start from
+// friends vs start from visitors).
+func BenchmarkE4PlanVariability(b *testing.B) {
+	e := env(b)
+	var last *experiments.E4Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E4(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.DistinctPlans), "distinct-plans")
+	b.ReportMetric(float64(last.PopularCovisit), "popular-covisit")
+	b.ReportMetric(float64(last.RareCovisit), "rare-covisit")
+}
+
+// BenchmarkX5CoutCorrelation regenerates the Section III claim: Pearson
+// correlation between Cout and runtime (paper: ~0.85).
+func BenchmarkX5CoutCorrelation(b *testing.B) {
+	e := env(b)
+	var last *experiments.X5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.X5(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.PearsonWork, "pearson-work")
+	b.ReportMetric(last.PearsonRuntime, "pearson-runtime")
+}
+
+// BenchmarkX6CuratedStability regenerates the payoff experiment: curated
+// classes restore P1–P3 (within-class var/mean² collapses, one plan per
+// class).
+func BenchmarkX6CuratedStability(b *testing.B) {
+	e := env(b)
+	var last *experiments.X6Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.X6(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.UniformVarOverMeanSq, "uniform-var/mean2")
+	b.ReportMetric(last.MeanClassVarRatio(), "class-var-ratio")
+	b.ReportMetric(float64(len(last.Classes)), "classes")
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// BenchmarkAblationGreedyVsDP compares the greedy join ordering against
+// exact DP across the Q4 domain: how often greedy picks a suboptimal plan
+// and how much cost it adds.
+func BenchmarkAblationGreedyVsDP(b *testing.B) {
+	e := env(b)
+	q4 := bsbm.Q4()
+	dom, err := core.ExtractDomain(q4, e.BSBM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worstRatio, mismatches, total float64
+	for i := 0; i < b.N; i++ {
+		worstRatio, mismatches, total = 1, 0, 0
+		dp, err := core.Analyze(q4, e.BSBM, dom, core.AnalyzeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gr, err := core.Analyze(q4, e.BSBM, dom, core.AnalyzeOptions{UseGreedy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range dp.Points {
+			total++
+			if gr.Points[j].Signature != dp.Points[j].Signature {
+				mismatches++
+			}
+			if dp.Points[j].Cost > 0 {
+				r := gr.Points[j].Cost / dp.Points[j].Cost
+				if r > worstRatio {
+					worstRatio = r
+				}
+			}
+		}
+	}
+	b.ReportMetric(mismatches/total*100, "plan-mismatch-%")
+	b.ReportMetric(worstRatio, "worst-cost-ratio")
+}
+
+// BenchmarkAblationEpsilon sweeps the cost-band width ε and reports the
+// class-count sensitivity for Q4 (DESIGN.md design choice: banding).
+func BenchmarkAblationEpsilon(b *testing.B) {
+	e := env(b)
+	q4 := bsbm.Q4()
+	a, err := core.Analyze(q4, e.BSBM, nil, core.AnalyzeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n025, n100, n300 int
+	for i := 0; i < b.N; i++ {
+		n025 = len(core.Cluster(a, core.ClusterOptions{Epsilon: 0.25}).Classes)
+		n100 = len(core.Cluster(a, core.ClusterOptions{Epsilon: 1.0}).Classes)
+		n300 = len(core.Cluster(a, core.ClusterOptions{Epsilon: 3.0}).Classes)
+	}
+	b.ReportMetric(float64(n025), "classes-eps0.25")
+	b.ReportMetric(float64(n100), "classes-eps1.0")
+	b.ReportMetric(float64(n300), "classes-eps3.0")
+}
+
+// BenchmarkAblationJoinOperator checks that the Cout-runtime correlation
+// survives the physical join choice (hash vs sort-merge for interior
+// joins).
+func BenchmarkAblationJoinOperator(b *testing.B) {
+	e := env(b)
+	q2 := snb.Q2()
+	dom, err := core.ExtractDomain(q2, e.SNB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := core.NewUniformSampler(dom, 5)
+	bindings := sampler.Sample(60)
+	var rHash, rMerge float64
+	for i := 0; i < b.N; i++ {
+		for _, alg := range []exec.JoinAlgorithm{exec.HashJoin, exec.SortMergeJoin} {
+			r := &workload.Runner{Store: e.SNB, Opts: exec.Options{Join: alg}}
+			ms, err := r.Run(q2, bindings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := stats.Pearson(workload.Values(ms, workload.MetricCout), workload.Values(ms, workload.MetricWork))
+			if alg == exec.HashJoin {
+				rHash = p
+			} else {
+				rMerge = p
+			}
+		}
+	}
+	b.ReportMetric(rHash, "pearson-hash")
+	b.ReportMetric(rMerge, "pearson-merge")
+}
+
+// BenchmarkAblationEstimatedCout measures how well the optimizer's
+// estimated Cout predicts the measured Cout across the Q4 domain —
+// clustering on estimates is only sound if this correlation is high.
+func BenchmarkAblationEstimatedCout(b *testing.B) {
+	e := env(b)
+	q4 := bsbm.Q4()
+	dom, err := core.ExtractDomain(q4, e.BSBM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &workload.Runner{Store: e.BSBM, Opts: exec.Options{}}
+	bindings := core.NewUniformSampler(dom, 6).Sample(60)
+	var pearson float64
+	for i := 0; i < b.N; i++ {
+		ms, err := r.Run(q4, bindings)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var est, meas []float64
+		for _, m := range ms {
+			est = append(est, m.EstCost)
+			meas = append(meas, m.Cout)
+		}
+		pearson = stats.Pearson(est, meas)
+	}
+	b.ReportMetric(pearson, "pearson-est-meas")
+}
+
+// BenchmarkAblationSamplingEstimator compares the independence-assumption
+// estimator against the correlation-aware sampling estimator on the SNB
+// intro query (name × country — the paper's canonical correlated case):
+// mean multiplicative error of the estimated result cardinality vs truth.
+func BenchmarkAblationSamplingEstimator(b *testing.B) {
+	e := env(b)
+	q1 := snb.Q1()
+	joint, err := core.ExtractJointDomain(q1, e.SNB, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	indep := plan.NewEstimator(e.SNB)
+	var errIndep, errSampling float64
+	for it := 0; it < b.N; it++ {
+		var sumI, sumS, n float64
+		for _, bind := range joint.Bindings {
+			bound, err := q1.Bind(bind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := plan.Compile(bound, e.SNB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pi, err := plan.Optimize(c, indep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps, err := plan.Optimize(c, plan.NewSamplingEstimator(e.SNB, c, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, _, err := exec.Query(bound, e.SNB, exec.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			truth := float64(len(res.Rows))
+			if truth == 0 {
+				continue
+			}
+			sumI += multErr(pi.EstCard, truth)
+			sumS += multErr(ps.EstCard, truth)
+			n++
+		}
+		errIndep, errSampling = sumI/n, sumS/n
+	}
+	b.ReportMetric(errIndep, "q-error-independence")
+	b.ReportMetric(errSampling, "q-error-sampling")
+}
+
+// multErr is the multiplicative "q-error" of an estimate vs truth (>= 1).
+func multErr(est, truth float64) float64 {
+	if est <= 0 {
+		est = 0.5
+	}
+	if est < truth {
+		return truth / est
+	}
+	return est / truth
+}
+
+// BenchmarkAblationCharsetEstimator compares independence vs characteristic
+// sets on a subject-star query with a multi-valued predicate (hasBeenTo) —
+// the case characteristic sets answer exactly.
+func BenchmarkAblationCharsetEstimator(b *testing.B) {
+	e := env(b)
+	q := sparql.MustParse(`
+PREFIX sn: <http://snb.example.org/>
+SELECT * WHERE {
+  ?p sn:firstName ?n .
+  ?p sn:livesIn ?c .
+  ?p sn:hasBeenTo ?d .
+}`)
+	c, err := plan.Compile(q, e.SNB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, _, err := exec.Query(q, e.SNB, exec.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := float64(len(res.Rows))
+	var qIndep, qCharset float64
+	var numSets int
+	for i := 0; i < b.N; i++ {
+		cs := plan.BuildCharacteristicSets(e.SNB)
+		numSets = cs.NumSets()
+		pi, err := plan.Optimize(c, plan.NewEstimator(e.SNB))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pc, err := plan.Optimize(c, plan.NewCharsetEstimator(e.SNB, cs, c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		qIndep = multErr(pi.EstCard, truth)
+		qCharset = multErr(pc.EstCard, truth)
+	}
+	b.ReportMetric(qIndep, "q-error-independence")
+	b.ReportMetric(qCharset, "q-error-charsets")
+	b.ReportMetric(float64(numSets), "charsets")
+}
+
+// --- Engine micro-benchmarks -------------------------------------------------
+
+func BenchmarkStoreCount(b *testing.B) {
+	e := env(b)
+	st := e.BSBM
+	typeID, _ := st.Dict().Lookup(bsbm.PredType)
+	rootID, _ := st.Dict().Lookup(bsbm.TypeIRI(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.Count(store.Pattern{P: typeID, O: rootID}) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkStoreMatch(b *testing.B) {
+	e := env(b)
+	st := e.BSBM
+	featID, _ := st.Dict().Lookup(bsbm.PredProductFeature)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		m, _ := st.Match(store.Pattern{P: featID})
+		n += len(m)
+	}
+	if n == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+func BenchmarkOptimizerDP(b *testing.B) {
+	e := env(b)
+	bound, err := bsbm.Q4().Bind(sparql.Binding{"ProductType": bsbm.TypeIRI(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := plan.Compile(bound, e.BSBM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := plan.NewEstimator(e.BSBM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Optimize(c, est); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecQ4Generic(b *testing.B) {
+	e := env(b)
+	bound, err := bsbm.Q4().Bind(sparql.Binding{"ProductType": bsbm.TypeIRI(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exec.Query(bound, e.BSBM, exec.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecQ4Specific(b *testing.B) {
+	e := env(b)
+	leafIdx := 0
+	for i, n := range e.BSBMData.Types {
+		if len(n.Children) == 0 {
+			leafIdx = i
+			break
+		}
+	}
+	bound, err := bsbm.Q4().Bind(sparql.Binding{"ProductType": bsbm.TypeIRI(leafIdx)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exec.Query(bound, e.BSBM, exec.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDomainExtraction(b *testing.B) {
+	e := env(b)
+	q := snb.Q3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExtractDomain(q, e.SNB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeAndCluster(b *testing.B) {
+	e := env(b)
+	q4 := bsbm.Q4()
+	dom, err := core.ExtractDomain(q4, e.BSBM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var classes int
+	for i := 0; i < b.N; i++ {
+		a, err := core.Analyze(q4, e.BSBM, dom, core.AnalyzeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes = len(core.Cluster(a, core.ClusterOptions{}).Classes)
+	}
+	b.ReportMetric(float64(classes), "classes")
+}
+
+func BenchmarkUniformSampling(b *testing.B) {
+	e := env(b)
+	dom, err := core.ExtractDomain(snb.Q3(), e.SNB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewUniformSampler(dom, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Sample(100)) != 100 {
+			b.Fatal("short sample")
+		}
+	}
+}
+
+func BenchmarkDatasetGenerationBSBM(b *testing.B) {
+	cfg := bsbm.TestConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bsbm.BuildStore(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetGenerationSNB(b *testing.B) {
+	cfg := snb.TestConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := snb.BuildStore(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUniformTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bsbm", "test", "q4", "uniform", 3, 10, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Group 1", "Group 3", "q10", "Median", "q90", "Average", "max relative deviation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCuratedTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bsbm", "test", "q4", "curated", 2, 10, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Q4a") || !strings.Contains(out, "#plans") {
+		t.Fatalf("curated output malformed:\n%s", out)
+	}
+}
+
+func TestGreedyAndMergeFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "snb", "test", "q2", "uniform", 2, 5, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bsbm", "test", "q4", "nope", 2, 5, 1, false, false); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if err := run(&buf, "marbles", "test", "q4", "uniform", 2, 5, 1, false, false); err == nil {
+		t.Error("bad dataset should fail")
+	}
+	if err := run(&buf, "bsbm", "test", "q4", "uniform", 1, 5, 1, false, false); err == nil {
+		t.Error("single group should fail")
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bsbm"
+)
+
+func writeTestData(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.nt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	content := `<http://x/a> <http://x/knows> <http://x/b> .
+<http://x/b> <http://x/knows> <http://x/c> .
+<http://x/a> <http://x/name> "alice" .
+<http://x/b> <http://x/name> "bob" .
+`
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQueryOverNTriples(t *testing.T) {
+	data := writeTestData(t)
+	var buf bytes.Buffer
+	err := run(&buf, data, `SELECT ?n WHERE { ?p <http://x/name> ?n . } ORDER BY ?n`, "", nil, false, false, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 rows") || !strings.Contains(out, `"alice"`) {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+	// alice sorts before bob
+	if strings.Index(out, "alice") > strings.Index(out, "bob") {
+		t.Fatal("ORDER BY not applied")
+	}
+}
+
+func TestQueryWithBindAndExplain(t *testing.T) {
+	data := writeTestData(t)
+	var buf bytes.Buffer
+	err := run(&buf, data, `SELECT ?x WHERE { %who <http://x/knows> ?x . }`, "",
+		[]string{"who=<http://x/a>"}, true, false, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "plan[") {
+		t.Fatal("explain output missing")
+	}
+	if !strings.Contains(out, "<http://x/b>") {
+		t.Fatalf("result missing:\n%s", out)
+	}
+}
+
+func TestQueryOverSnapshot(t *testing.T) {
+	st, _, err := bsbm.BuildStore(bsbm.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	err = run(&buf, path, `PREFIX b: <http://bsbm.example.org/>
+SELECT ?p WHERE { ?p b:label ?l . } LIMIT 7`, "", nil, false, false, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "7 rows") || !strings.Contains(out, "more rows") {
+		t.Fatalf("snapshot query output wrong:\n%s", out)
+	}
+}
+
+func TestQueryFileAndModes(t *testing.T) {
+	data := writeTestData(t)
+	qf := filepath.Join(t.TempDir(), "q.rq")
+	if err := os.WriteFile(qf, []byte(`SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct{ greedy, sampling bool }{
+		{false, false}, {true, false}, {false, true},
+	} {
+		var buf bytes.Buffer
+		if err := run(&buf, data, "", qf, nil, false, mode.greedy, mode.sampling, 0); err != nil {
+			t.Fatalf("mode %+v: %v", mode, err)
+		}
+		if !strings.Contains(buf.String(), "1 rows") {
+			t.Fatalf("mode %+v: wrong rows:\n%s", mode, buf.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	data := writeTestData(t)
+	var buf bytes.Buffer
+	if err := run(&buf, "", "q", "", nil, false, false, false, 0); err == nil {
+		t.Error("missing data should fail")
+	}
+	if err := run(&buf, data, "", "", nil, false, false, false, 0); err == nil {
+		t.Error("missing query should fail")
+	}
+	if err := run(&buf, data, "not a query", "", nil, false, false, false, 0); err == nil {
+		t.Error("bad query should fail")
+	}
+	if err := run(&buf, data, `SELECT * WHERE { ?s ?p %x . }`, "", nil, false, false, false, 0); err == nil {
+		t.Error("unbound param should fail")
+	}
+	if err := run(&buf, data, `SELECT * WHERE { ?s ?p %x . }`, "", []string{"bogus"}, false, false, false, 0); err == nil {
+		t.Error("malformed bind should fail")
+	}
+	if err := run(&buf, data, `SELECT * WHERE { ?s ?p %x . }`, "", []string{"x=<unterminated"}, false, false, false, 0); err == nil {
+		t.Error("bad bind term should fail")
+	}
+	if err := run(&buf, "/nonexistent.nt", "q", "", nil, false, false, false, 0); err == nil {
+		t.Error("missing file should fail")
+	}
+}

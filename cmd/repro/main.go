@@ -1,0 +1,141 @@
+// Command repro regenerates every empirical result in the paper: the E1–E4
+// examples, the Section III Cout-correlation claim (X5) and the curated-
+// parameters payoff (X6). Each experiment prints a table comparing the
+// paper's reported values with our measured ones.
+//
+// Usage:
+//
+//	repro                       # all experiments at small scale
+//	repro -scale paper          # the paper's 4×100 sampling on ~2M triples
+//	repro -exp e2,e3            # a subset
+//	repro -md out.md            # additionally write Markdown (EXPERIMENTS.md style)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,x5,x6,x7 or all")
+		scale   = flag.String("scale", "small", "scale preset: small | paper")
+		md      = flag.String("md", "", "also write Markdown report to this file")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *expList, *scale, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, expList, scaleName, mdPath string) error {
+	var sc experiments.Scale
+	switch scaleName {
+	case "small":
+		sc = experiments.SmallScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want small or paper)", scaleName)
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	fmt.Fprintf(w, "generating datasets (scale=%s: BSBM %d products, SNB %d persons)...\n",
+		sc.Name, sc.BSBM.Products, sc.SNB.Persons)
+	start := time.Now()
+	env, err := experiments.NewEnv(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "datasets ready: BSBM %d triples, SNB %d triples (%.1fs)\n\n",
+		env.BSBM.Len(), env.SNB.Len(), time.Since(start).Seconds())
+
+	var tables []*report.Table
+	show := func(t *report.Table, extra ...string) {
+		fmt.Fprintln(w, t)
+		for _, e := range extra {
+			fmt.Fprintln(w, e)
+		}
+		fmt.Fprintln(w)
+		tables = append(tables, t)
+	}
+
+	if all || want["e1"] {
+		res, err := experiments.E1(env)
+		if err != nil {
+			return fmt.Errorf("E1: %w", err)
+		}
+		show(res.Table)
+	}
+	if all || want["e2"] {
+		res, err := experiments.E2(env)
+		if err != nil {
+			return fmt.Errorf("E2: %w", err)
+		}
+		show(res.Table)
+		show(res.DevTable)
+	}
+	if all || want["e3"] {
+		res, err := experiments.E3(env)
+		if err != nil {
+			return fmt.Errorf("E3: %w", err)
+		}
+		show(res.Table, "work-unit distribution (log buckets):", res.Histogram)
+	}
+	if all || want["e4"] {
+		res, err := experiments.E4(env)
+		if err != nil {
+			return fmt.Errorf("E4: %w", err)
+		}
+		show(res.Table)
+	}
+	if all || want["x5"] {
+		res, err := experiments.X5(env)
+		if err != nil {
+			return fmt.Errorf("X5: %w", err)
+		}
+		show(res.Table)
+	}
+	if all || want["x6"] {
+		res, err := experiments.X6(env)
+		if err != nil {
+			return fmt.Errorf("X6: %w", err)
+		}
+		show(res.Table)
+	}
+	if all || want["x7"] {
+		res, err := experiments.X7(env)
+		if err != nil {
+			return fmt.Errorf("X7: %w", err)
+		}
+		show(res.Table)
+	}
+
+	if mdPath != "" {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# Reproduction report (scale=%s, seed=%d)\n\n", sc.Name, sc.Seed)
+		fmt.Fprintf(&b, "BSBM: %d triples. SNB: %d triples. Generated %s.\n\n",
+			env.BSBM.Len(), env.SNB.Len(), time.Now().Format(time.RFC3339))
+		for _, t := range tables {
+			b.WriteString(t.Markdown())
+			b.WriteString("\n")
+		}
+		if err := os.WriteFile(mdPath, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", mdPath)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSubsetOfExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "e4", "small", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E4") || !strings.Contains(out, "plan signature") {
+		t.Fatalf("E4 output malformed:\n%s", out)
+	}
+	if strings.Contains(out, "E1:") {
+		t.Fatal("unrequested experiment ran")
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	md := filepath.Join(t.TempDir(), "report.md")
+	var buf bytes.Buffer
+	if err := run(&buf, "x5", "small", md); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "| pairing |") {
+		t.Fatalf("markdown malformed:\n%s", data)
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "all", "galactic", ""); err == nil {
+		t.Fatal("bad scale should fail")
+	}
+}

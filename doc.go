@@ -1,0 +1,18 @@
+// Package repro is a full reproduction of "How to generate query parameters
+// in RDF benchmarks?" (Gubichev, Angles, Boncz — ICDE Workshops 2014).
+//
+// The repository contains, from the ground up: an RDF data model and
+// N-Triples codec (internal/rdf), dictionary encoding (internal/dict), a
+// hexastore-style triple store with exact pattern cardinalities
+// (internal/store), a SPARQL-subset parser with %parameter templates
+// (internal/sparql), a Cout-based dynamic-programming query optimizer
+// (internal/plan), an executor with exact intermediate-result accounting
+// (internal/exec), scaled-down BSBM and LDBC-SNB/S3G2 data generators
+// (internal/bsbm, internal/snb), statistics including Kolmogorov–Smirnov
+// and Pearson (internal/stats), and the paper's contribution — parameter
+// domain extraction, per-binding plan analysis, clustering into parameter
+// classes and curated samplers (internal/core).
+//
+// bench_test.go in this package regenerates every empirical result of the
+// paper as a testing.B benchmark; cmd/repro prints them as tables.
+package repro

@@ -1,0 +1,121 @@
+// Curation example: run the paper's full parameter-generation pipeline on
+// your own data and query template.
+//
+// Usage:
+//
+//	curation -data graph.nt -query 'SELECT * WHERE { ?s <http://x/p> %v . }'
+//
+// Without flags it demonstrates the pipeline on a generated SNB dataset
+// with the paper's introductory name×country template, showing how the
+// correlated domain splits into classes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "N-Triples file (default: generated SNB test data)")
+		queryStr = flag.String("query", "", "query template with %params (default: intro example)")
+		epsilon  = flag.Float64("epsilon", core.DefaultEpsilon, "cost band width")
+		n        = flag.Int("n", 30, "sample size per class for the verification run")
+		maxB     = flag.Int("max-bindings", core.DefaultMaxBindings, "analysis cap for large domains")
+	)
+	flag.Parse()
+
+	// Load or generate the data.
+	var st *store.Store
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := store.NewBuilder()
+		if err := b.LoadNTriples(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		st = b.Build()
+		fmt.Printf("loaded %d triples from %s\n", st.Len(), *dataPath)
+	} else {
+		var err error
+		st, _, err = snb.BuildStore(snb.TestConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated SNB test data: %d triples\n", st.Len())
+	}
+
+	// Parse the template.
+	src := *queryStr
+	if src == "" {
+		src = snb.QueryQ1Text
+	}
+	tmpl, err := sparql.Parse(src)
+	if err != nil {
+		log.Fatalf("parsing template: %v", err)
+	}
+	fmt.Printf("\ntemplate:\n%s\n\n", tmpl)
+
+	// Step 1: domain extraction.
+	dom, err := core.ExtractDomain(tmpl, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1 — domain: %v (%d combinations)\n", dom.Params, dom.Size())
+
+	// Step 2: per-binding plan/cost analysis.
+	a, err := core.Analyze(tmpl, st, dom, core.AnalyzeOptions{MaxBindings: *maxB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "exhaustive"
+	if !a.Exhaustive {
+		mode = "sampled"
+	}
+	fmt.Printf("step 2 — analyzed %d bindings (%s)\n", len(a.Points), mode)
+
+	// Step 3: clustering into parameter classes.
+	cl := core.Cluster(a, core.ClusterOptions{Epsilon: *epsilon, MinClassSize: 2, MergeSmall: true})
+	if err := cl.Verify(); err != nil {
+		fmt.Printf("note: %v (merged small classes relax condition b)\n", err)
+	}
+	fmt.Printf("step 3 — clustering:\n%s\n", cl.Summary())
+
+	// Step 4: per-class verification run — P1-P3 in action.
+	r := &workload.Runner{Store: st, Opts: exec.Options{}}
+	fmt.Println("step 4 — per-class verification (work units):")
+	for _, cq := range core.Curate("Q", cl, 7) {
+		ms, err := r.Run(tmpl, cq.Sampler.Sample(*n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := workload.Summarize(ms, workload.MetricWork)
+		fmt.Printf("  %-4s n=%-3d median %-8.0f mean %-8.0f plans %d  example: %s\n",
+			cq.Name, s.N, s.Median, s.Mean,
+			len(workload.DistinctPlans(ms)),
+			formatExample(cq.Class.Points[0].Binding))
+	}
+}
+
+func formatExample(b sparql.Binding) string {
+	out := ""
+	for k, v := range b {
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%%%s=%s", k, v.Value)
+	}
+	return out
+}

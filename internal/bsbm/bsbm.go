@@ -1,0 +1,317 @@
+// Package bsbm implements a scaled-down Berlin SPARQL Benchmark (BSBM)
+// data generator plus the Business-Intelligence query templates the paper
+// measures (Q2 "similar products", Q4 "feature price ratio").
+//
+// The generator reproduces the structural skew that drives the paper's E1
+// and E3 findings: product types form a hierarchy, every product is typed
+// with a leaf type *and all its ancestors*, so the number of products per
+// type grows geometrically toward the root. A query parameterized by
+// product type therefore touches wildly different data volumes depending on
+// how generic the chosen type is — "depending on how high it is in the type
+// hierarchy, the amount of data touched by the query differs greatly" (E1).
+package bsbm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// NS is the vocabulary namespace.
+const NS = "http://bsbm.example.org/"
+
+// Vocabulary IRIs.
+var (
+	ClassProductType    = rdf.NewIRI(NS + "ProductType")
+	PredType            = rdf.NewIRI(rdf.RDFType)
+	PredSubClassOf      = rdf.NewIRI(NS + "subClassOf")
+	PredProductFeature  = rdf.NewIRI(NS + "productFeature")
+	PredProducer        = rdf.NewIRI(NS + "producer")
+	PredLabel           = rdf.NewIRI(NS + "label")
+	PredPropertyNumeric = rdf.NewIRI(NS + "propertyNumeric1")
+	PredOfferProduct    = rdf.NewIRI(NS + "product")
+	PredOfferPrice      = rdf.NewIRI(NS + "price")
+	PredOfferVendor     = rdf.NewIRI(NS + "vendor")
+	PredReviewFor       = rdf.NewIRI(NS + "reviewFor")
+	PredReviewRating    = rdf.NewIRI(NS + "rating1")
+	PredReviewer        = rdf.NewIRI(NS + "reviewer")
+	PredCountry         = rdf.NewIRI(NS + "country")
+)
+
+// Config sizes the generated dataset. The zero value is unusable; use
+// DefaultConfig or TestConfig.
+type Config struct {
+	Products           int   // number of products
+	TypeDepth          int   // product-type tree depth (root = level 0)
+	TypeBranching      int   // children per type node
+	FeaturesPerLevel   int   // features attached per type node
+	FeaturesPerProduct int   // features each product draws from its type chain
+	Producers          int   // number of producers
+	Vendors            int   // number of vendors
+	OffersPerProduct   int   // average offers per product
+	ReviewsPerProduct  int   // average reviews per product
+	Reviewers          int   // number of reviewer resources
+	Seed               int64 // RNG seed; generation is deterministic per seed
+}
+
+// DefaultConfig approximates (at reduced scale) the BSBM mix used in the
+// paper: ~1M triples with Products≈30000.
+func DefaultConfig() Config {
+	return Config{
+		Products:           30000,
+		TypeDepth:          4,
+		TypeBranching:      4,
+		FeaturesPerLevel:   10,
+		FeaturesPerProduct: 5,
+		Producers:          300,
+		Vendors:            100,
+		OffersPerProduct:   6,
+		ReviewsPerProduct:  3,
+		Reviewers:          1500,
+		Seed:               1,
+	}
+}
+
+// TestConfig is small enough for unit tests while keeping the hierarchy
+// skew (used throughout the test suites and quick benches).
+func TestConfig() Config {
+	return Config{
+		Products:           2000,
+		TypeDepth:          3,
+		TypeBranching:      3,
+		FeaturesPerLevel:   6,
+		FeaturesPerProduct: 4,
+		Producers:          40,
+		Vendors:            20,
+		OffersPerProduct:   4,
+		ReviewsPerProduct:  2,
+		Reviewers:          100,
+		Seed:               1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Products <= 0:
+		return fmt.Errorf("bsbm: Products must be positive")
+	case c.TypeDepth < 1:
+		return fmt.Errorf("bsbm: TypeDepth must be >= 1")
+	case c.TypeBranching < 2:
+		return fmt.Errorf("bsbm: TypeBranching must be >= 2")
+	case c.FeaturesPerLevel < 1 || c.FeaturesPerProduct < 1:
+		return fmt.Errorf("bsbm: feature counts must be >= 1")
+	case c.Producers < 1 || c.Vendors < 1 || c.Reviewers < 1:
+		return fmt.Errorf("bsbm: producers, vendors, reviewers must be >= 1")
+	case c.OffersPerProduct < 0 || c.ReviewsPerProduct < 0:
+		return fmt.Errorf("bsbm: offers/reviews must be >= 0")
+	}
+	return nil
+}
+
+// TypeNode is one node of the product-type hierarchy.
+type TypeNode struct {
+	IRI      rdf.Term
+	Level    int // 0 = root
+	Parent   int // index into Dataset.Types; -1 for root
+	Children []int
+	Features []rdf.Term // features attached at this node
+}
+
+// Dataset describes what was generated (for domain introspection in tests
+// and experiments); the triples themselves go to the sink.
+type Dataset struct {
+	Config Config
+	Types  []TypeNode // breadth-first; Types[0] is the root
+	// ProductsPerType[i] is the number of products typed (directly or via
+	// descendants) with Types[i].
+	ProductsPerType []int
+}
+
+// TypeIRI returns the IRI term of product type i.
+func TypeIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProductType%d", NS, i)) }
+
+// FeatureIRI returns the IRI term of feature i.
+func FeatureIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProductFeature%d", NS, i)) }
+
+// ProductIRI returns the IRI term of product i.
+func ProductIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProduct%d", NS, i)) }
+
+// Generate produces the dataset, emitting every triple to emit. It returns
+// dataset metadata. Generation is deterministic for a given config.
+func Generate(cfg Config, emit func(rdf.Triple) error) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Config: cfg}
+	featureCounter := 0
+
+	// Build the type tree breadth-first.
+	ds.Types = append(ds.Types, TypeNode{IRI: TypeIRI(0), Level: 0, Parent: -1})
+	for i := 0; i < len(ds.Types); i++ {
+		node := &ds.Types[i]
+		for f := 0; f < cfg.FeaturesPerLevel; f++ {
+			node.Features = append(node.Features, FeatureIRI(featureCounter))
+			featureCounter++
+		}
+		if node.Level >= cfg.TypeDepth {
+			continue
+		}
+		for b := 0; b < cfg.TypeBranching; b++ {
+			child := TypeNode{
+				IRI:    TypeIRI(len(ds.Types)),
+				Level:  node.Level + 1,
+				Parent: i,
+			}
+			node.Children = append(node.Children, len(ds.Types))
+			ds.Types = append(ds.Types, child)
+		}
+	}
+	ds.ProductsPerType = make([]int, len(ds.Types))
+
+	// Emit type-hierarchy triples.
+	for i := range ds.Types {
+		n := &ds.Types[i]
+		if err := emit(rdf.NewTriple(n.IRI, PredType, ClassProductType)); err != nil {
+			return nil, err
+		}
+		if n.Parent >= 0 {
+			if err := emit(rdf.NewTriple(n.IRI, PredSubClassOf, ds.Types[n.Parent].IRI)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Leaves for product assignment.
+	var leaves []int
+	for i := range ds.Types {
+		if len(ds.Types[i].Children) == 0 {
+			leaves = append(leaves, i)
+		}
+	}
+
+	countryPool := []string{"US", "DE", "GB", "JP", "CN", "FR", "ES", "RU", "KR", "AT"}
+
+	// Products.
+	for p := 0; p < cfg.Products; p++ {
+		prod := ProductIRI(p)
+		leaf := leaves[rng.Intn(len(leaves))]
+		// Type chain: leaf and all ancestors. BSBM materializes the full
+		// chain, which is what makes generic types huge.
+		for t := leaf; t != -1; t = ds.Types[t].Parent {
+			ds.ProductsPerType[t]++
+			if err := emit(rdf.NewTriple(prod, PredType, ds.Types[t].IRI)); err != nil {
+				return nil, err
+			}
+		}
+		// Features: drawn from the pools along the type chain (shared
+		// ancestry ⇒ shared features ⇒ the "similar products" query works).
+		// Draws are leaf-biased with a minority reaching ancestor pools,
+		// and Zipf-skewed within each pool, so feature popularity is
+		// heavy-tailed: a few globally hot features, many rare ones. This
+		// is what makes the Q2 similarity-join runtime distribution
+		// strongly non-normal (the paper's E1 KS observation).
+		chain := typeChain(ds, leaf)
+		for f := 0; f < cfg.FeaturesPerProduct; f++ {
+			var node *TypeNode
+			if rng.Float64() < 0.7 || len(chain) == 1 {
+				node = &ds.Types[chain[0]] // the leaf's own pool
+			} else {
+				node = &ds.Types[chain[1+rng.Intn(len(chain)-1)]]
+			}
+			feat := node.Features[zipfIndex(rng, len(node.Features), 1.6)]
+			if err := emit(rdf.NewTriple(prod, PredProductFeature, feat)); err != nil {
+				return nil, err
+			}
+		}
+		if err := emit(rdf.NewTriple(prod, PredLabel, rdf.NewLiteral(fmt.Sprintf("Product %d", p)))); err != nil {
+			return nil, err
+		}
+		if err := emit(rdf.NewTriple(prod, PredProducer, producerIRI(rng.Intn(cfg.Producers)))); err != nil {
+			return nil, err
+		}
+		if err := emit(rdf.NewTriple(prod, PredPropertyNumeric, rdf.NewInteger(int64(rng.Intn(2000))))); err != nil {
+			return nil, err
+		}
+		// Offers.
+		for o := 0; o < cfg.OffersPerProduct; o++ {
+			offer := rdf.NewIRI(fmt.Sprintf("%sOffer%d_%d", NS, p, o))
+			v := rng.Intn(cfg.Vendors)
+			price := 10 + rng.Intn(9000)
+			if err := emit(rdf.NewTriple(offer, PredOfferProduct, prod)); err != nil {
+				return nil, err
+			}
+			if err := emit(rdf.NewTriple(offer, PredOfferPrice, rdf.NewInteger(int64(price)))); err != nil {
+				return nil, err
+			}
+			if err := emit(rdf.NewTriple(offer, PredOfferVendor, vendorIRI(v))); err != nil {
+				return nil, err
+			}
+		}
+		// Reviews.
+		for r := 0; r < cfg.ReviewsPerProduct; r++ {
+			rev := rdf.NewIRI(fmt.Sprintf("%sReview%d_%d", NS, p, r))
+			if err := emit(rdf.NewTriple(rev, PredReviewFor, prod)); err != nil {
+				return nil, err
+			}
+			if err := emit(rdf.NewTriple(rev, PredReviewRating, rdf.NewInteger(int64(1+rng.Intn(10))))); err != nil {
+				return nil, err
+			}
+			if err := emit(rdf.NewTriple(rev, PredReviewer, reviewerIRI(rng.Intn(cfg.Reviewers)))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Vendors get a country (used by drill-down queries). Round-robin
+	// assignment keeps every country populated even at tiny scales.
+	for v := 0; v < cfg.Vendors; v++ {
+		c := countryPool[v%len(countryPool)]
+		if err := emit(rdf.NewTriple(vendorIRI(v), PredCountry, rdf.NewIRI(NS+"Country"+c))); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+func typeChain(ds *Dataset, leaf int) []int {
+	var chain []int
+	for t := leaf; t != -1; t = ds.Types[t].Parent {
+		chain = append(chain, t)
+	}
+	return chain
+}
+
+// zipfIndex samples an index in [0, n) with probability ∝ 1/(i+1)^s.
+func zipfIndex(rng *rand.Rand, n int, s float64) int {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+	}
+	x := rng.Float64() * total
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		if x < acc {
+			return i
+		}
+	}
+	return n - 1
+}
+
+func producerIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProducer%d", NS, i)) }
+func vendorIRI(i int) rdf.Term   { return rdf.NewIRI(fmt.Sprintf("%sVendor%d", NS, i)) }
+func reviewerIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sReviewer%d", NS, i)) }
+
+// BuildStore generates the dataset directly into a triple store.
+func BuildStore(cfg Config) (*store.Store, *Dataset, error) {
+	b := store.NewBuilder()
+	ds, err := Generate(cfg, b.Add)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Build(), ds, nil
+}

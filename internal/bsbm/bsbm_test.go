@@ -1,0 +1,229 @@
+package bsbm
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TestConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Products: 10}, // missing depth
+		{Products: 10, TypeDepth: 2, TypeBranching: 1}, // branching < 2
+		{Products: -1, TypeDepth: 2, TypeBranching: 2}, // negative products
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	var a, b []rdf.Triple
+	if _, err := Generate(cfg, func(t rdf.Triple) error { a = append(a, t); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(cfg, func(t rdf.Triple) error { b = append(b, t); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	// Different seed differs.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	var c []rdf.Triple
+	if _, err := Generate(cfg2, func(t rdf.Triple) error { c = append(c, t); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	same := len(c) == len(a)
+	if same {
+		identical := true
+		for i := range a {
+			if a[i] != c[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical data")
+		}
+	}
+}
+
+func TestHierarchySkew(t *testing.T) {
+	// The root type must cover all products; leaves only a fraction. This
+	// is the skew that drives E1/E3.
+	_, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ProductsPerType[0] != ds.Config.Products {
+		t.Fatalf("root covers %d products, want %d", ds.ProductsPerType[0], ds.Config.Products)
+	}
+	leaves := 0
+	maxLeaf := 0
+	for i, n := range ds.Types {
+		if len(n.Children) == 0 {
+			leaves++
+			if ds.ProductsPerType[i] > maxLeaf {
+				maxLeaf = ds.ProductsPerType[i]
+			}
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("no leaf types")
+	}
+	if maxLeaf*3 > ds.Config.Products {
+		t.Fatalf("a leaf covers %d of %d products — hierarchy not skewed", maxLeaf, ds.Config.Products)
+	}
+	// Parent covers at least as many products as each child.
+	for i, n := range ds.Types {
+		for _, c := range n.Children {
+			if ds.ProductsPerType[c] > ds.ProductsPerType[i] {
+				t.Fatalf("child %d (%d) exceeds parent %d (%d)", c, ds.ProductsPerType[c], i, ds.ProductsPerType[i])
+			}
+		}
+	}
+}
+
+func TestStoreCountsMatchMetadata(t *testing.T) {
+	st, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Dict()
+	typeID, ok := d.Lookup(PredType)
+	if !ok {
+		t.Fatal("rdf:type missing")
+	}
+	for i := range ds.Types {
+		tid, ok := d.Lookup(ds.Types[i].IRI)
+		if !ok {
+			t.Fatalf("type %d missing from dictionary", i)
+		}
+		got := st.Count(store.Pattern{P: typeID, O: tid})
+		if got != ds.ProductsPerType[i] {
+			t.Fatalf("type %d: store count %d, metadata %d", i, got, ds.ProductsPerType[i])
+		}
+	}
+}
+
+func TestQ4Runs(t *testing.T) {
+	st, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Q4()
+	if got := q.Params(); len(got) != 1 || got[0] != "ProductType" {
+		t.Fatalf("Q4 params = %v", got)
+	}
+	// Bind to the root type: touches every product.
+	bound, err := q.Bind(sparql.Binding{"ProductType": ds.Types[0].IRI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := exec.Query(bound, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q4 on root type returned nothing")
+	}
+	// A leaf type must touch far less data.
+	var leaf int
+	for i, n := range ds.Types {
+		if len(n.Children) == 0 {
+			leaf = i
+			break
+		}
+	}
+	boundLeaf, err := q.Bind(sparql.Binding{"ProductType": ds.Types[leaf].IRI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLeaf, _, err := exec.Query(boundLeaf, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLeaf.Cout*2 >= res.Cout {
+		t.Fatalf("leaf Cout %v not far below root Cout %v", resLeaf.Cout, res.Cout)
+	}
+}
+
+func TestQ2Runs(t *testing.T) {
+	st, _, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Q2().Bind(sparql.Binding{"Product": ProductIRI(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := exec.Query(bound, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q2 returned nothing — products share no features")
+	}
+}
+
+func TestQ1Runs(t *testing.T) {
+	st, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Q1().Bind(sparql.Binding{
+		"ProductType": ds.Types[0].IRI,
+		"Country":     rdf.NewIRI(NS + "CountryUS"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := exec.Query(bound, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q1 returned nothing")
+	}
+}
+
+func TestEmitErrorPropagates(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Products = 10
+	want := "sink full"
+	n := 0
+	_, err := Generate(cfg, func(rdf.Triple) error {
+		n++
+		if n > 5 {
+			return errTest(want)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Point is the analysis record of one parameter binding: the optimal plan's
+// canonical signature and estimated Cout for the template instantiated with
+// that binding.
+type Point struct {
+	Binding   sparql.Binding
+	Signature string
+	Cost      float64 // estimated Cout of the optimal plan
+	Card      float64 // estimated result cardinality
+}
+
+// Analysis is the per-binding plan/cost analysis of a template's domain.
+type Analysis struct {
+	Template *sparql.Query
+	Domain   *Domain
+	Points   []Point
+	// Exhaustive reports whether every domain binding was analyzed (true
+	// when the domain is not larger than the configured cap).
+	Exhaustive bool
+}
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// MaxBindings caps how many bindings are analyzed; a larger domain is
+	// sampled deterministically. Zero means DefaultMaxBindings.
+	MaxBindings int
+	// Seed drives the domain subsampling (not the analysis itself, which is
+	// deterministic).
+	Seed int64
+	// UseGreedy switches the per-binding optimizer from exact DP to the
+	// greedy heuristic (for the ablation study).
+	UseGreedy bool
+}
+
+// DefaultMaxBindings caps analysis work for large cross-product domains.
+const DefaultMaxBindings = 2000
+
+// Analyze instantiates the template for (a sample of) the domain and
+// records the optimal plan signature and cost per binding.
+func Analyze(tmpl *sparql.Query, st *store.Store, dom *Domain, opts AnalyzeOptions) (*Analysis, error) {
+	if dom == nil {
+		var err error
+		dom, err = ExtractDomain(tmpl, st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	maxB := opts.MaxBindings
+	if maxB <= 0 {
+		maxB = DefaultMaxBindings
+	}
+	a := &Analysis{Template: tmpl, Domain: dom}
+	size := dom.Size()
+	indices := domainIndices(size, maxB, opts.Seed)
+	a.Exhaustive = size <= maxB
+	bindings := make([]sparql.Binding, len(indices))
+	for i, idx := range indices {
+		bindings[i] = dom.At(idx)
+	}
+	if err := analyzeInto(a, tmpl, st, bindings, opts.UseGreedy); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// analyzeInto optimizes the template per binding and appends the analysis
+// points to a.
+func analyzeInto(a *Analysis, tmpl *sparql.Query, st *store.Store, bindings []sparql.Binding, useGreedy bool) error {
+	est := plan.NewEstimator(st)
+	for i, b := range bindings {
+		bound, err := tmpl.Bind(b)
+		if err != nil {
+			return err
+		}
+		c, err := plan.Compile(bound, st)
+		if err != nil {
+			return err
+		}
+		var p *plan.Plan
+		if useGreedy {
+			p, err = plan.OptimizeGreedy(c, est)
+		} else {
+			p, err = plan.Optimize(c, est)
+		}
+		if err != nil {
+			return fmt.Errorf("core: optimizing binding %d: %w", i, err)
+		}
+		a.Points = append(a.Points, Point{
+			Binding:   b,
+			Signature: p.Signature,
+			Cost:      p.EstCost,
+			Card:      p.EstCard,
+		})
+	}
+	return nil
+}
+
+// domainIndices returns the binding indices to analyze: all of them when
+// size <= maxB, otherwise a deterministic uniform sample without
+// replacement.
+func domainIndices(size, maxB int, seed int64) []int {
+	if size <= maxB {
+		out := make([]int, size)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int]bool, maxB)
+	out := make([]int, 0, maxB)
+	for len(out) < maxB {
+		i := rng.Intn(size)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bsbm"
+	"repro/internal/rdf"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+func bsbmStore(t testing.TB) (*store.Store, *bsbm.Dataset) {
+	t.Helper()
+	st, ds, err := bsbm.BuildStore(bsbm.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ds
+}
+
+func snbStore(t testing.TB) (*store.Store, *snb.Dataset) {
+	t.Helper()
+	st, ds, err := snb.BuildStore(snb.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ds
+}
+
+func TestExtractDomainSingleParam(t *testing.T) {
+	st, ds := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom.Params) != 1 || dom.Params[0] != "ProductType" {
+		t.Fatalf("params = %v", dom.Params)
+	}
+	// The domain must contain every product type that actually types a
+	// product — plus nothing else that never occurs as an rdf:type object.
+	want := 0
+	for i := range ds.Types {
+		if ds.ProductsPerType[i] > 0 {
+			want++
+		}
+	}
+	// The type nodes themselves are typed bsbm:ProductType, so the class
+	// IRI also occurs as an rdf:type object; and persons don't exist here.
+	if len(dom.Values[0]) != want+1 {
+		t.Fatalf("domain size = %d, want %d product types + 1 class IRI", len(dom.Values[0]), want)
+	}
+	if dom.Size() != len(dom.Values[0]) {
+		t.Fatalf("Size = %d", dom.Size())
+	}
+}
+
+func TestExtractDomainMultiParam(t *testing.T) {
+	st, _ := snbStore(t)
+	dom, err := ExtractDomain(snb.Q3(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom.Params) != 3 {
+		t.Fatalf("params = %v", dom.Params)
+	}
+	// Q3 has Person, CountryX, CountryY. Cross-product indexing At(i) must
+	// enumerate all combinations without duplicates.
+	seen := map[string]bool{}
+	n := dom.Size()
+	if n <= 0 {
+		t.Fatal("empty cross domain")
+	}
+	cap := n
+	if cap > 500 {
+		cap = 500
+	}
+	for i := 0; i < cap; i++ {
+		b := dom.At(i)
+		key := ""
+		for _, p := range dom.Params {
+			key += b[p].String() + "|"
+		}
+		if seen[key] {
+			t.Fatalf("duplicate binding at index %d", i)
+		}
+		seen[key] = true
+	}
+}
+
+func TestExtractDomainIntersection(t *testing.T) {
+	// A parameter used in two patterns gets the intersection of both
+	// position domains: countries that are both visited and lived in.
+	st, _ := snbStore(t)
+	tmpl := sparql.MustParse(`
+PREFIX sn: <http://snb.example.org/>
+SELECT ?p WHERE {
+  ?p sn:livesIn %C .
+  ?q sn:hasBeenTo %C .
+}`)
+	dom, err := ExtractDomain(tmpl, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	livedIn, err := ExtractDomain(sparql.MustParse(`
+PREFIX sn: <http://snb.example.org/>
+SELECT ?p WHERE { ?p sn:livesIn %C . }`), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom.Values[0]) > len(livedIn.Values[0]) {
+		t.Fatalf("intersection (%d) larger than one side (%d)", len(dom.Values[0]), len(livedIn.Values[0]))
+	}
+	if len(dom.Values[0]) == 0 {
+		t.Fatal("empty intersection")
+	}
+}
+
+func TestExtractDomainErrors(t *testing.T) {
+	st, _ := bsbmStore(t)
+	// No parameters.
+	if _, err := ExtractDomain(sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . }`), st); err == nil {
+		t.Fatal("expected error for parameterless template")
+	}
+	// Filter-only parameter.
+	q := sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER(?o > %x) }`)
+	if _, err := ExtractDomain(q, st); err == nil {
+		t.Fatal("expected error for filter-only parameter")
+	}
+	// Empty domain: pattern whose constants don't occur.
+	q2 := sparql.MustParse(`SELECT * WHERE { ?s <http://nowhere/p> %x . }`)
+	if _, err := ExtractDomain(q2, st); err == nil {
+		t.Fatal("expected error for empty domain")
+	}
+}
+
+func TestAnalyzeExhaustiveSmallDomain(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, err := Analyze(bsbm.Q4(), st, nil, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Exhaustive {
+		t.Fatal("small domain should be analyzed exhaustively")
+	}
+	if len(a.Points) != a.Domain.Size() {
+		t.Fatalf("points = %d, domain = %d", len(a.Points), a.Domain.Size())
+	}
+	for _, pt := range a.Points {
+		if pt.Signature == "" {
+			t.Fatal("empty signature")
+		}
+		if pt.Cost < 0 {
+			t.Fatalf("negative cost %v", pt.Cost)
+		}
+	}
+}
+
+func TestAnalyzeSampledLargeDomain(t *testing.T) {
+	st, _ := snbStore(t)
+	a, err := Analyze(snb.Q3(), st, nil, AnalyzeOptions{MaxBindings: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exhaustive {
+		t.Fatal("large domain should be sampled")
+	}
+	if len(a.Points) != 50 {
+		t.Fatalf("points = %d, want 50", len(a.Points))
+	}
+	// Deterministic resample.
+	b, err := Analyze(snb.Q3(), st, nil, AnalyzeOptions{MaxBindings: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Signature != b.Points[i].Signature || a.Points[i].Cost != b.Points[i].Cost {
+			t.Fatal("analysis not deterministic")
+		}
+	}
+}
+
+func TestClusterConditions(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, err := Analyze(bsbm.Q4(), st, nil, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Cluster(a, ClusterOptions{Epsilon: 1.0})
+	if err := cl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Classes) < 2 {
+		t.Fatalf("Q4 must split into >= 2 classes (specific vs generic types), got %d\n%s",
+			len(cl.Classes), cl.Summary())
+	}
+	// All points accounted for.
+	total := len(cl.Dropped)
+	for _, c := range cl.Classes {
+		total += len(c.Points)
+	}
+	if total != len(a.Points) {
+		t.Fatalf("clustering lost points: %d vs %d", total, len(a.Points))
+	}
+	// Classes ordered by cost.
+	for i := 1; i < len(cl.Classes); i++ {
+		if meanCostOf(cl.Classes[i-1]) > meanCostOf(cl.Classes[i]) {
+			t.Fatal("classes not sorted by mean cost")
+		}
+	}
+	if cl.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func meanCostOf(c Class) float64 {
+	s := 0.0
+	for _, p := range c.Points {
+		s += p.Cost
+	}
+	return s / float64(len(c.Points))
+}
+
+func TestClusterCostBandWidth(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, err := Analyze(bsbm.Q4(), st, nil, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.25, 0.5, 1.0, 3.0} {
+		cl := Cluster(a, ClusterOptions{Epsilon: eps})
+		if err := cl.Verify(); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		for _, c := range cl.Classes {
+			if c.CostLo > 0 && c.CostHi/c.CostLo > (1+eps)*(1+1e-9) {
+				t.Fatalf("eps=%v: class spread %v exceeds band", eps, c.CostHi/c.CostLo)
+			}
+		}
+	}
+	// Narrower epsilon gives at least as many classes.
+	narrow := Cluster(a, ClusterOptions{Epsilon: 0.25})
+	wide := Cluster(a, ClusterOptions{Epsilon: 3.0})
+	if len(narrow.Classes) < len(wide.Classes) {
+		t.Fatalf("narrow ε produced fewer classes (%d) than wide ε (%d)",
+			len(narrow.Classes), len(wide.Classes))
+	}
+}
+
+func TestClusterMinClassSize(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, err := Analyze(bsbm.Q4(), st, nil, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := Cluster(a, ClusterOptions{Epsilon: 0.5, MinClassSize: 5})
+	for _, c := range drop.Classes {
+		if len(c.Points) < 5 {
+			t.Fatalf("kept class with %d members", len(c.Points))
+		}
+	}
+	merge := Cluster(a, ClusterOptions{Epsilon: 0.5, MinClassSize: 5, MergeSmall: true})
+	if len(merge.Dropped) > len(drop.Dropped) {
+		t.Fatal("merging should not drop more than dropping")
+	}
+}
+
+func TestUniformSampler(t *testing.T) {
+	st, _ := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformSampler(dom, 7)
+	got := s.Sample(200)
+	if len(got) != 200 {
+		t.Fatalf("len = %d", len(got))
+	}
+	distinct := map[string]bool{}
+	for _, b := range got {
+		if len(b) != 1 {
+			t.Fatalf("binding has %d params", len(b))
+		}
+		distinct[b["ProductType"].String()] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("uniform sampler returned a single value 200 times")
+	}
+	// Determinism per seed.
+	s2 := NewUniformSampler(dom, 7)
+	got2 := s2.Sample(200)
+	for i := range got {
+		if got[i]["ProductType"] != got2[i]["ProductType"] {
+			t.Fatal("sampler not deterministic per seed")
+		}
+	}
+}
+
+func TestClassSamplerStaysInClass(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, err := Analyze(bsbm.Q4(), st, nil, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Cluster(a, ClusterOptions{})
+	cur := Curate("Q4", cl, 1)
+	if len(cur) != len(cl.Classes) {
+		t.Fatalf("curated = %d, classes = %d", len(cur), len(cl.Classes))
+	}
+	if cur[0].Name != "Q4a" || cur[1].Name != "Q4b" {
+		t.Fatalf("labels = %s, %s", cur[0].Name, cur[1].Name)
+	}
+	for _, cq := range cur {
+		members := map[string]bool{}
+		for _, pt := range cq.Class.Points {
+			members[pt.Binding["ProductType"].String()] = true
+		}
+		for _, b := range cq.Sampler.Sample(50) {
+			if !members[b["ProductType"].String()] {
+				t.Fatalf("%s: sampled binding outside class", cq.Name)
+			}
+		}
+	}
+}
+
+func TestPipelineRun(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, cl, err := Pipeline{}.Run(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) == 0 || len(cl.Classes) == 0 {
+		t.Fatal("pipeline produced nothing")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if Label("Q4", 0) != "Q4a" || Label("Q4", 1) != "Q4b" {
+		t.Fatal("letter labels wrong")
+	}
+	if Label("Q", 26) != "Q_26" {
+		t.Fatalf("overflow label = %s", Label("Q", 26))
+	}
+}
+
+// Property: clustering is a partition — every analyzed point lands in
+// exactly one class (or Dropped), for random epsilon.
+func TestClusterPartitionProperty(t *testing.T) {
+	st, _ := bsbmStore(t)
+	a, err := Analyze(bsbm.Q4(), st, nil, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		eps := 0.1 + rng.Float64()*4
+		cl := Cluster(a, ClusterOptions{Epsilon: eps})
+		n := len(cl.Dropped)
+		for _, c := range cl.Classes {
+			n += len(c.Points)
+		}
+		if n != len(a.Points) {
+			t.Fatalf("eps=%v: partition broken (%d vs %d)", eps, n, len(a.Points))
+		}
+		if err := cl.Verify(); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+	}
+}
+
+func TestDomainAtCoversAll(t *testing.T) {
+	// Small synthetic domain: At must enumerate the full cross product.
+	dom := &Domain{
+		Params: []sparql.Param{"a", "b"},
+		Values: [][]rdf.Term{
+			{rdf.NewLiteral("x"), rdf.NewLiteral("y")},
+			{rdf.NewInteger(1), rdf.NewInteger(2), rdf.NewInteger(3)},
+		},
+	}
+	if dom.Size() != 6 {
+		t.Fatalf("Size = %d", dom.Size())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		b := dom.At(i)
+		seen[fmt.Sprintf("%v|%v", b["a"], b["b"])] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("At enumerated %d distinct bindings, want 6", len(seen))
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+)
+
+func TestExtractJointDomain(t *testing.T) {
+	st, _ := snbStore(t)
+	q1 := snb.Q1() // %Name × %Country — correlated
+	joint, err := ExtractJointDomain(q1, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := ExtractDomain(q1, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joint domain must be far smaller than the cross product: most
+	// name×country combinations never occur (that's the correlation).
+	if joint.Size() >= cross.Size() {
+		t.Fatalf("joint %d >= cross %d", joint.Size(), cross.Size())
+	}
+	if joint.Size() == 0 {
+		t.Fatal("empty joint domain")
+	}
+	// Every joint binding must produce a non-empty result.
+	for i, b := range joint.Bindings {
+		if i >= 25 {
+			break
+		}
+		bound, err := q1.Bind(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := exec.Query(bound, st, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("joint binding %v produced no results", b)
+		}
+	}
+}
+
+func TestExtractJointDomainMaxRows(t *testing.T) {
+	st, _ := snbStore(t)
+	joint, err := ExtractJointDomain(snb.Q1(), st, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Size() != 10 {
+		t.Fatalf("size = %d, want capped at 10", joint.Size())
+	}
+}
+
+func TestExtractJointDomainErrors(t *testing.T) {
+	st, _ := snbStore(t)
+	if _, err := ExtractJointDomain(sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . }`), st, 0); err == nil {
+		t.Fatal("expected error for parameterless template")
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER(?o > %x) }`)
+	if _, err := ExtractJointDomain(q, st, 0); err == nil {
+		t.Fatal("expected error for filter-only parameter")
+	}
+	q2 := sparql.MustParse(`SELECT * WHERE { ?s <http://nowhere/p> %x . }`)
+	if _, err := ExtractJointDomain(q2, st, 0); err == nil {
+		t.Fatal("expected error for empty joint domain")
+	}
+}
+
+func TestJointSampler(t *testing.T) {
+	st, _ := snbStore(t)
+	joint, err := ExtractJointDomain(snb.Q1(), st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewJointSampler(joint, 3)
+	got := s.Sample(100)
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	member := map[string]bool{}
+	for _, b := range joint.Bindings {
+		member[b["Name"].String()+"|"+b["Country"].String()] = true
+	}
+	for _, b := range got {
+		if !member[b["Name"].String()+"|"+b["Country"].String()] {
+			t.Fatal("sampled binding outside joint domain")
+		}
+	}
+}
+
+func TestAnalyzeBindings(t *testing.T) {
+	st, _ := snbStore(t)
+	joint, err := ExtractJointDomain(snb.Q1(), st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeBindings(snb.Q1(), st, joint.Bindings, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Clustering the joint domain works end to end.
+	cl := Cluster(a, ClusterOptions{})
+	if err := cl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Classes) < 2 {
+		t.Fatalf("joint domain of a correlated query should split: %s", cl.Summary())
+	}
+	// Capping.
+	capped, err := AnalyzeBindings(snb.Q1(), st, joint.Bindings, AnalyzeOptions{MaxBindings: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Exhaustive || len(capped.Points) != 5 {
+		t.Fatalf("cap failed: exhaustive=%v points=%d", capped.Exhaustive, len(capped.Points))
+	}
+	// Errors.
+	if _, err := AnalyzeBindings(snb.Q1(), st, nil, AnalyzeOptions{}); err == nil {
+		t.Fatal("expected error for empty bindings")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Sampler produces parameter bindings for workload generation.
+type Sampler interface {
+	// Sample returns n bindings.
+	Sample(n int) []sparql.Binding
+}
+
+// UniformSampler draws bindings uniformly at random (with replacement) from
+// the cross-product domain — the standard technique the paper shows to be
+// inadequate (it is the baseline in every experiment).
+type UniformSampler struct {
+	dom *Domain
+	rng *rand.Rand
+}
+
+// NewUniformSampler returns a uniform sampler over dom.
+func NewUniformSampler(dom *Domain, seed int64) *UniformSampler {
+	return &UniformSampler{dom: dom, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws n bindings uniformly from the domain.
+func (s *UniformSampler) Sample(n int) []sparql.Binding {
+	out := make([]sparql.Binding, n)
+	size := s.dom.Size()
+	for i := range out {
+		out[i] = s.dom.At(s.rng.Intn(size))
+	}
+	return out
+}
+
+// ClassSampler draws bindings uniformly from within a single parameter
+// class — the paper's proposal: "the workload generator can produce
+// separate parameter bindings by sampling them from every parameter class
+// independently, thus effectively splitting the query into several cases".
+type ClassSampler struct {
+	class *Class
+	rng   *rand.Rand
+}
+
+// NewClassSampler returns a sampler over one class.
+func NewClassSampler(c *Class, seed int64) *ClassSampler {
+	return &ClassSampler{class: c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws n member bindings (with replacement).
+func (s *ClassSampler) Sample(n int) []sparql.Binding {
+	out := make([]sparql.Binding, n)
+	for i := range out {
+		out[i] = s.class.Points[s.rng.Intn(len(s.class.Points))].Binding
+	}
+	return out
+}
+
+// CuratedQuery is one per-class sub-workload: the original template plus a
+// class-restricted sampler. BSBM-BI Q4 becomes Q4a (specific types) and Q4b
+// (generic types).
+type CuratedQuery struct {
+	Name    string
+	Class   *Class
+	Sampler *ClassSampler
+}
+
+// Curate turns a clustering into named per-class sub-workloads.
+func Curate(prefix string, c *Clustering, seed int64) []CuratedQuery {
+	out := make([]CuratedQuery, len(c.Classes))
+	for i := range c.Classes {
+		cl := &c.Classes[i]
+		out[i] = CuratedQuery{
+			Name:    Label(prefix, i),
+			Class:   cl,
+			Sampler: NewClassSampler(cl, seed+int64(i)),
+		}
+	}
+	return out
+}
+
+// Pipeline bundles the full paper workflow: extract → analyze → cluster.
+type Pipeline struct {
+	Analyze AnalyzeOptions
+	Cluster ClusterOptions
+}
+
+// Run executes the pipeline for tmpl against st.
+func (p Pipeline) Run(tmpl *sparql.Query, st *store.Store) (*Analysis, *Clustering, error) {
+	dom, err := ExtractDomain(tmpl, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := Analyze(tmpl, st, dom, p.Analyze)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := Cluster(a, p.Cluster)
+	if len(cl.Classes) == 0 {
+		return nil, nil, fmt.Errorf("core: clustering produced no classes")
+	}
+	return a, cl, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bsbm"
+)
+
+func TestStepSamplerBasics(t *testing.T) {
+	st, _ := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStepSampler(dom, 4, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Sample(400)
+	if len(got) != 400 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// All samples must come from the domain.
+	member := map[string]bool{}
+	for i := 0; i < dom.Size(); i++ {
+		member[dom.At(i)["ProductType"].String()] = true
+	}
+	for _, b := range got {
+		if !member[b["ProductType"].String()] {
+			t.Fatal("sample outside domain")
+		}
+	}
+}
+
+func TestStepSamplerSkew(t *testing.T) {
+	st, _ := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStepSampler(dom, 4, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With decay 0.3, the first quarter of the domain must be sampled far
+	// more often than the last quarter.
+	size := dom.Size()
+	idxOf := map[string]int{}
+	for i := 0; i < size; i++ {
+		idxOf[dom.At(i)["ProductType"].String()] = i
+	}
+	first, last := 0, 0
+	for _, b := range s.Sample(2000) {
+		i := idxOf[b["ProductType"].String()]
+		switch {
+		case i < size/4:
+			first++
+		case i >= size*3/4:
+			last++
+		}
+	}
+	if first <= 2*last {
+		t.Fatalf("step skew missing: first quarter %d, last quarter %d", first, last)
+	}
+}
+
+func TestStepSamplerUniformDegenerate(t *testing.T) {
+	st, _ := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStepSampler(dom, 1, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sample(10)) != 10 {
+		t.Fatal("degenerate sampler broken")
+	}
+}
+
+func TestStepSamplerErrors(t *testing.T) {
+	st, _ := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStepSampler(dom, 0, 0.5, 1); err == nil {
+		t.Fatal("steps=0 should fail")
+	}
+	if _, err := NewStepSampler(dom, dom.Size()+1, 0.5, 1); err == nil {
+		t.Fatal("steps > size should fail")
+	}
+	if _, err := NewStepSampler(dom, 2, 0, 1); err == nil {
+		t.Fatal("decay=0 should fail")
+	}
+	if _, err := NewStepSampler(dom, 2, 1.5, 1); err == nil {
+		t.Fatal("decay>1 should fail")
+	}
+}

@@ -1,0 +1,104 @@
+// Package dict implements dictionary encoding of RDF terms: a bijection
+// between terms and dense uint32 IDs. Dictionary encoding is the standard
+// first step in RDF stores (RDF-3X, Virtuoso, Hexastore): all downstream
+// index structures and joins operate on fixed-width IDs instead of strings.
+//
+// IDs are assigned in insertion order starting at 1; 0 is reserved as the
+// invalid/absent ID.
+package dict
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. 0 is never a valid ID.
+type ID uint32
+
+// None is the zero, invalid ID.
+const None ID = 0
+
+// Dict maps rdf.Term values to dense IDs and back. It is safe for
+// concurrent use; lookups take a read lock, Encode takes a write lock only
+// when inserting a new term.
+type Dict struct {
+	mu    sync.RWMutex
+	terms []rdf.Term      // terms[id-1] is the term for id
+	ids   map[rdf.Term]ID // inverse mapping
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{ids: make(map[rdf.Term]ID)}
+}
+
+// NewWithCapacity returns an empty dictionary pre-sized for n terms.
+func NewWithCapacity(n int) *Dict {
+	return &Dict{
+		terms: make([]rdf.Term, 0, n),
+		ids:   make(map[rdf.Term]ID, n),
+	}
+}
+
+// Encode returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Encode(t rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t, or (None, false) if t has not been encoded.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// Decode returns the term for id. It panics on an invalid ID — an invalid
+// ID inside the engine is a programming error, not an input error.
+func (d *Dict) Decode(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == None || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("dict: decode of invalid id %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// TryDecode returns the term for id, or (zero, false) if id is invalid.
+func (d *Dict) TryDecode(id ID) (rdf.Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == None || int(id) > len(d.terms) {
+		return rdf.Term{}, false
+	}
+	return d.terms[id-1], true
+}
+
+// Len returns the number of distinct terms encoded.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// EncodeIRI is a convenience for Encode(rdf.NewIRI(iri)).
+func (d *Dict) EncodeIRI(iri string) ID { return d.Encode(rdf.NewIRI(iri)) }
+
+// LookupIRI is a convenience for Lookup(rdf.NewIRI(iri)).
+func (d *Dict) LookupIRI(iri string) (ID, bool) { return d.Lookup(rdf.NewIRI(iri)) }

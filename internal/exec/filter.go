@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// applyFilters evaluates all FILTER comparisons over the relation. A filter
+// referencing a variable absent from the schema fails the query (SPARQL
+// would treat it as an error/unbound; for benchmark workloads it is a bug).
+func (ex *executor) applyFilters(rel *relation, filters []sparql.Filter) (*relation, error) {
+	if len(filters) == 0 {
+		return rel, nil
+	}
+	type compiled struct {
+		leftCol, rightCol   int // -1 when the side is a constant
+		leftTerm, rightTerm rdf.Term
+		op                  sparql.CompareOp
+	}
+	cs := make([]compiled, 0, len(filters))
+	for _, f := range filters {
+		c := compiled{leftCol: -1, rightCol: -1, op: f.Op}
+		switch f.Left.Kind {
+		case sparql.NodeVar:
+			c.leftCol = rel.colIndex(f.Left.Var)
+			if c.leftCol < 0 {
+				return nil, fmt.Errorf("exec: filter references unbound variable ?%s", f.Left.Var)
+			}
+		case sparql.NodeTerm:
+			c.leftTerm = f.Left.Term
+		default:
+			return nil, fmt.Errorf("exec: filter contains unbound parameter %%%s", f.Left.Param)
+		}
+		switch f.Right.Kind {
+		case sparql.NodeVar:
+			c.rightCol = rel.colIndex(f.Right.Var)
+			if c.rightCol < 0 {
+				return nil, fmt.Errorf("exec: filter references unbound variable ?%s", f.Right.Var)
+			}
+		case sparql.NodeTerm:
+			c.rightTerm = f.Right.Term
+		default:
+			return nil, fmt.Errorf("exec: filter contains unbound parameter %%%s", f.Right.Param)
+		}
+		cs = append(cs, c)
+	}
+	d := ex.st.Dict()
+	out := rel.rows[:0:0]
+	for _, row := range rel.rows {
+		ex.work++
+		keep := true
+		for _, c := range cs {
+			lt, rt := c.leftTerm, c.rightTerm
+			if c.leftCol >= 0 {
+				lt = d.Decode(row[c.leftCol])
+			}
+			if c.rightCol >= 0 {
+				rt = d.Decode(row[c.rightCol])
+			}
+			if !evalCompare(lt, c.op, rt) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return &relation{vars: rel.vars, rows: out}, nil
+}
+
+// evalCompare implements the comparison semantics: equality is term
+// equality (with numeric coercion when both sides are numeric literals);
+// ordering is numeric when both sides are numeric literals and lexical
+// otherwise (which orders ISO dates correctly).
+func evalCompare(l rdf.Term, op sparql.CompareOp, r rdf.Term) bool {
+	lf, lok := numericValue(l)
+	rf, rok := numericValue(r)
+	if lok && rok {
+		switch op {
+		case sparql.OpEq:
+			return lf == rf
+		case sparql.OpNe:
+			return lf != rf
+		case sparql.OpLt:
+			return lf < rf
+		case sparql.OpLe:
+			return lf <= rf
+		case sparql.OpGt:
+			return lf > rf
+		case sparql.OpGe:
+			return lf >= rf
+		}
+	}
+	switch op {
+	case sparql.OpEq:
+		return l == r
+	case sparql.OpNe:
+		return l != r
+	}
+	c := compareLexical(l, r)
+	switch op {
+	case sparql.OpLt:
+		return c < 0
+	case sparql.OpLe:
+		return c <= 0
+	case sparql.OpGt:
+		return c > 0
+	case sparql.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func numericValue(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func compareLexical(l, r rdf.Term) int {
+	if l.Value < r.Value {
+		return -1
+	}
+	if l.Value > r.Value {
+		return 1
+	}
+	return 0
+}
+
+// finish applies projection, DISTINCT, ORDER BY and LIMIT.
+func (ex *executor) finish(rel *relation, q *sparql.Query) (*relation, error) {
+	// ORDER BY runs on the pre-projection schema (sort keys need not be
+	// selected).
+	if len(q.OrderBy) > 0 {
+		keys := make([]int, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			ci := rel.colIndex(k.Var)
+			if ci < 0 {
+				return nil, fmt.Errorf("exec: ORDER BY unbound variable ?%s", k.Var)
+			}
+			keys[i] = ci
+		}
+		d := ex.st.Dict()
+		sort.SliceStable(rel.rows, func(i, j int) bool {
+			for x, ci := range keys {
+				a, b := rel.rows[i][ci], rel.rows[j][ci]
+				if a == b {
+					continue
+				}
+				c := compareOrder(d, a, b)
+				if c == 0 {
+					continue
+				}
+				if q.OrderBy[x].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		ex.work += float64(len(rel.rows))
+	}
+	// Projection.
+	if len(q.Select) > 0 {
+		cols := make([]int, len(q.Select))
+		for i, v := range q.Select {
+			ci := rel.colIndex(v)
+			if ci < 0 {
+				return nil, fmt.Errorf("exec: SELECT of unbound variable ?%s", v)
+			}
+			cols[i] = ci
+		}
+		projected := make([][]dict.ID, len(rel.rows))
+		for i, row := range rel.rows {
+			pr := make([]dict.ID, len(cols))
+			for j, ci := range cols {
+				pr[j] = row[ci]
+			}
+			projected[i] = pr
+		}
+		rel = &relation{vars: append([]sparql.Var(nil), q.Select...), rows: projected}
+	}
+	if q.Distinct {
+		seen := make(map[string]bool, len(rel.rows))
+		out := rel.rows[:0:0]
+		var keyBuf []byte
+		for _, row := range rel.rows {
+			keyBuf = keyBuf[:0]
+			for _, id := range row {
+				keyBuf = append(keyBuf,
+					byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			k := string(keyBuf)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, row)
+			}
+			ex.work++
+		}
+		rel = &relation{vars: rel.vars, rows: out}
+	}
+	if q.Limit > 0 && len(rel.rows) > q.Limit {
+		rel = &relation{vars: rel.vars, rows: rel.rows[:q.Limit]}
+	}
+	return rel, nil
+}
+
+// compareOrder orders two dictionary IDs by their terms: numeric literals
+// numerically, everything else lexically by value.
+func compareOrder(d *dict.Dict, a, b dict.ID) int {
+	ta, tb := d.Decode(a), d.Decode(b)
+	fa, oka := numericValue(ta)
+	fb, okb := numericValue(tb)
+	if oka && okb {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return ta.Compare(tb)
+}

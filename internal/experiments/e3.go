@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"repro/internal/bsbm"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E3Result reproduces example E3: BSBM-BI Q4's runtime distribution is
+// "clustered" — queries are either very fast or very slow, so the mean is
+// not representative.
+//
+// Paper values: Min 59 ms, Median 354 ms, Mean 3.6 s, q95 17.6 s,
+// Max 259 s; mean/median > 10; "almost no query in between" the modes.
+type E3Result struct {
+	Work            stats.Summary // in deterministic work units
+	Runtime         stats.Summary // in wall-clock ms
+	MeanMedianRatio float64
+	GapRatio        float64 // largest multiplicative gap between consecutive runtimes
+	FracNearMean    float64 // fraction of runs within ±25% of the mean
+	Histogram       string  // log-scale ASCII histogram of the work distribution
+	Table           *report.Table
+}
+
+// E3 runs the experiment on env's BSBM store.
+func E3(env *Env) (*E3Result, error) {
+	r := env.bsbmRunner()
+	sc := env.Scale
+	q4 := bsbm.Q4()
+	dom, err := core.ExtractDomain(q4, env.BSBM)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := r.Run(q4, core.NewUniformSampler(dom, sc.Seed+2).Sample(sc.Samples))
+	if err != nil {
+		return nil, err
+	}
+	works := workload.Values(ms, workload.MetricWork)
+	res := &E3Result{
+		Work:            stats.Summarize(works),
+		Runtime:         workload.Summarize(ms, workload.MetricRuntime),
+		MeanMedianRatio: stats.MeanMedianRatio(works),
+	}
+	res.GapRatio, _ = stats.LargestRelativeGap(works)
+	res.FracNearMean = stats.FractionWithin(works, res.Work.Mean*0.75, res.Work.Mean*1.25)
+
+	if res.Work.Min > 0 && res.Work.Max > res.Work.Min {
+		h := stats.NewLogHistogram(res.Work.Min, res.Work.Max*1.001, 12)
+		h.AddAll(works)
+		res.Histogram = h.Render(40)
+	}
+
+	t := report.NewTable("E3: BSBM-BI Q4 runtime distribution under uniform sampling",
+		"statistic", "paper", "measured (work)", "measured (ms)")
+	t.Add("Min", "59 ms", report.FormatFloat(res.Work.Min), report.FormatDuration(res.Runtime.Min))
+	t.Add("Median", "354 ms", report.FormatFloat(res.Work.Median), report.FormatDuration(res.Runtime.Median))
+	t.Add("Mean", "3.6 s", report.FormatFloat(res.Work.Mean), report.FormatDuration(res.Runtime.Mean))
+	t.Add("q95", "17.6 s", report.FormatFloat(res.Work.Q95), report.FormatDuration(res.Runtime.Q95))
+	t.Add("Max", "259 s", report.FormatFloat(res.Work.Max), report.FormatDuration(res.Runtime.Max))
+	t.Add("Mean/Median", "> 10", report.FormatFloat(res.MeanMedianRatio), "")
+	t.Add("frac within ±25% of mean", "≈ 0", report.FormatFloat(res.FracNearMean), "")
+	res.Table = t
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/report"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+)
+
+// E4Result reproduces example E4: LDBC Q3's optimal plan depends on the
+// country-pair parameters — "if X and Y are Finland and Zimbabwe, there are
+// supposedly very few people that have been to both, but if X and Y are USA
+// and Canada, this intersection is very large" — so the optimizer should
+// start from the friendship expansion in one case and from the visitor
+// intersection in the other.
+type E4Result struct {
+	DistinctPlans int
+	// PlanStats maps plan signature -> (#pairs, mean co-visitor count).
+	PlanStats map[string]PlanStat
+	// Example pairs, mirroring the paper's narrative.
+	PopularPair, RarePair       [2]int
+	PopularSig, RareSig         string
+	PopularCovisit, RareCovisit int
+	Table                       *report.Table
+}
+
+// PlanStat summarizes the bindings that chose one optimal plan.
+type PlanStat struct {
+	Pairs       int
+	MeanCovisit float64
+}
+
+// E4 runs the experiment on env's SNB store.
+func E4(env *Env) (*E4Result, error) {
+	ds := env.SNBData
+	// A mid-to-high degree person keeps the friendship side non-trivial.
+	person := 0
+	for p, d := range ds.Degree {
+		if d > ds.Degree[person] {
+			person = p
+		}
+	}
+	nc := ds.Config.Countries
+	// Domain: fixed person × all ordered country pairs (X != Y).
+	dom := &core.Domain{
+		Params: []sparql.Param{"CountryX", "CountryY", "Person"},
+		Values: [][]rdf.Term{countryTerms(nc), countryTerms(nc), {snb.PersonIRI(person)}},
+	}
+	a, err := core.Analyze(snb.Q3(), env.SNB, dom, core.AnalyzeOptions{MaxBindings: nc*nc + 1})
+	if err != nil {
+		return nil, err
+	}
+
+	covisit := covisitMatrix(ds)
+	res := &E4Result{PlanStats: map[string]PlanStat{}}
+	type acc struct {
+		pairs int
+		sum   float64
+	}
+	accs := map[string]*acc{}
+	for _, pt := range a.Points {
+		x, okx := countryIndex(pt.Binding["CountryX"])
+		y, oky := countryIndex(pt.Binding["CountryY"])
+		if !okx || !oky || x == y {
+			continue
+		}
+		s, ok := accs[pt.Signature]
+		if !ok {
+			s = &acc{}
+			accs[pt.Signature] = s
+		}
+		s.pairs++
+		s.sum += float64(covisit[x][y])
+	}
+	for sig, s := range accs {
+		res.PlanStats[sig] = PlanStat{Pairs: s.pairs, MeanCovisit: s.sum / float64(s.pairs)}
+	}
+	res.DistinctPlans = len(res.PlanStats)
+
+	// The paper's two exemplary pairs: most co-visited vs least co-visited.
+	res.PopularPair, res.RarePair = extremePairs(covisit)
+	res.PopularCovisit = covisit[res.PopularPair[0]][res.PopularPair[1]]
+	res.RareCovisit = covisit[res.RarePair[0]][res.RarePair[1]]
+	res.PopularSig = signatureFor(a, res.PopularPair)
+	res.RareSig = signatureFor(a, res.RarePair)
+
+	t := report.NewTable("E4: LDBC Q3 — optimal plan depends on the country pair",
+		"plan signature", "#pairs", "mean co-visitors")
+	sigs := make([]string, 0, len(res.PlanStats))
+	for sig := range res.PlanStats {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		return res.PlanStats[sigs[i]].MeanCovisit > res.PlanStats[sigs[j]].MeanCovisit
+	})
+	for _, sig := range sigs {
+		st := res.PlanStats[sig]
+		t.Add(sig, fmt.Sprintf("%d", st.Pairs), report.FormatFloat(st.MeanCovisit))
+	}
+	t.Add("", "", "")
+	t.Add(fmt.Sprintf("popular pair (%d,%d): %d co-visitors", res.PopularPair[0], res.PopularPair[1], res.PopularCovisit), res.PopularSig, "")
+	t.Add(fmt.Sprintf("rare pair (%d,%d): %d co-visitors", res.RarePair[0], res.RarePair[1], res.RareCovisit), res.RareSig, "")
+	res.Table = t
+	return res, nil
+}
+
+func countryTerms(n int) []rdf.Term {
+	out := make([]rdf.Term, n)
+	for i := range out {
+		out[i] = snb.CountryIRI(i)
+	}
+	return out
+}
+
+// countryIndex parses the index back out of a country IRI.
+func countryIndex(t rdf.Term) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(t.Value, snb.NS+"country%d", &i); err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// covisitMatrix computes |visitors(a) ∩ visitors(b)| for all country pairs.
+func covisitMatrix(ds *snb.Dataset) [][]int {
+	nc := ds.Config.Countries
+	m := make([][]int, nc)
+	for a := 0; a < nc; a++ {
+		m[a] = make([]int, nc)
+	}
+	for a := 0; a < nc; a++ {
+		seen := map[int]bool{}
+		for _, p := range ds.Visitors[a] {
+			seen[p] = true
+		}
+		for b := a + 1; b < nc; b++ {
+			n := 0
+			for _, p := range ds.Visitors[b] {
+				if seen[p] {
+					n++
+				}
+			}
+			m[a][b], m[b][a] = n, n
+		}
+	}
+	return m
+}
+
+// extremePairs finds the most and least co-visited country pairs (the
+// least-visited among pairs with at least zero co-visitors, preferring a
+// pair with the minimum count).
+func extremePairs(m [][]int) (popular, rare [2]int) {
+	best, worst := -1, int(^uint(0)>>1)
+	for a := range m {
+		for b := range m[a] {
+			if a == b {
+				continue
+			}
+			if m[a][b] > best {
+				best = m[a][b]
+				popular = [2]int{a, b}
+			}
+			if m[a][b] < worst {
+				worst = m[a][b]
+				rare = [2]int{a, b}
+			}
+		}
+	}
+	return popular, rare
+}
+
+// signatureFor looks up the analyzed signature of a specific country pair.
+func signatureFor(a *core.Analysis, pair [2]int) string {
+	for _, pt := range a.Points {
+		x, okx := countryIndex(pt.Binding["CountryX"])
+		y, oky := countryIndex(pt.Binding["CountryY"])
+		if okx && oky && x == pair[0] && y == pair[1] {
+			return pt.Signature
+		}
+	}
+	return ""
+}

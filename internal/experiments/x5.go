@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/bsbm"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// X5Result reproduces the Section III claim: "the cost function Cout of the
+// query strongly correlates with its running time (ca. 85% Pearson
+// correlation coefficient)".
+//
+// We compute Pearson(Cout, runtime) on a mixed workload across both
+// datasets — against the deterministic work counter (noise-free) and
+// against wall-clock time.
+type X5Result struct {
+	PearsonWork     float64 // Cout vs deterministic work
+	PearsonRuntime  float64 // Cout vs wall-clock ms
+	PearsonEstimate float64 // optimizer-estimated Cout vs measured Cout
+	SpearmanWork    float64 // rank correlation: scale-free monotonicity check
+	SpearmanRuntime float64
+	N               int
+	Table           *report.Table
+}
+
+// X5 runs the correlation experiment; env must carry both stores.
+func X5(env *Env) (*X5Result, error) {
+	sc := env.Scale
+	perStore := sc.Samples / 2
+	if perStore < 10 {
+		perStore = 10
+	}
+	var couts, works, runtimes, ests []float64
+	collect := func(r *workload.Runner, tmpl *sparql.Query, seed int64) error {
+		dom, err := core.ExtractDomain(tmpl, r.Store)
+		if err != nil {
+			return err
+		}
+		ms, err := r.Run(tmpl, core.NewUniformSampler(dom, seed).Sample(perStore))
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			couts = append(couts, m.Cout)
+			works = append(works, m.Work)
+			runtimes = append(runtimes, workload.MetricRuntime(m))
+			ests = append(ests, m.EstCost)
+		}
+		return nil
+	}
+	if err := collect(env.bsbmRunner(), bsbm.Q4(), sc.Seed+10); err != nil {
+		return nil, err
+	}
+	if err := collect(env.bsbmRunner(), bsbm.Q2(), sc.Seed+11); err != nil {
+		return nil, err
+	}
+	if err := collect(env.snbRunner(), snb.Q2(), sc.Seed+12); err != nil {
+		return nil, err
+	}
+	res := &X5Result{
+		PearsonWork:     stats.Pearson(couts, works),
+		PearsonRuntime:  stats.Pearson(couts, runtimes),
+		PearsonEstimate: stats.Pearson(ests, couts),
+		SpearmanWork:    stats.Spearman(couts, works),
+		SpearmanRuntime: stats.Spearman(couts, runtimes),
+		N:               len(couts),
+	}
+	t := report.NewTable("X5: Cout vs runtime correlation (Section III)",
+		"pairing", "paper", "measured")
+	t.Add("Pearson(Cout, runtime)", "~0.85", report.FormatFloat(res.PearsonRuntime))
+	t.Add("Pearson(Cout, work units)", "~0.85", report.FormatFloat(res.PearsonWork))
+	t.Add("Pearson(estimated Cout, measured Cout)", "(not reported)", report.FormatFloat(res.PearsonEstimate))
+	t.Add("Spearman(Cout, runtime)", "(not reported)", report.FormatFloat(res.SpearmanRuntime))
+	t.Add("Spearman(Cout, work units)", "(not reported)", report.FormatFloat(res.SpearmanWork))
+	res.Table = t
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bsbm"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// X6Result is the payoff experiment implied by the paper's Section III: the
+// curated parameter classes restore properties P1–P3.
+//
+//	P1 (bounded variance): within-class variance/mean² collapses versus the
+//	     uniform baseline;
+//	P2 (stable sampling): independent groups drawn per class agree;
+//	P3 (single plan): every class executes exactly one optimal plan.
+//
+// BSBM-BI Q4 is the running example: it "would turn into two queries, Q4a
+// (where the type parameter denotes a very specific product type) and Q4b
+// (with the parameter being a generic type of many products)".
+type X6Result struct {
+	UniformVarOverMeanSq float64
+	UniformAvgDeviation  float64
+	// UniformKSPValue is the two-sample KS p-value between two independent
+	// uniform binding groups (the baseline for the per-class values).
+	UniformKSPValue float64
+	Classes         []X6Class
+	Table           *report.Table
+}
+
+// X6Class carries per-class stability metrics.
+type X6Class struct {
+	Name                string
+	Size                int
+	VarOverMeanSq       float64
+	AvgDeviation        float64 // across independent groups sampled within the class
+	DistinctPlans       int     // must be 1 (P3)
+	WithinClassVariance float64
+	// KSPValue is the two-sample Kolmogorov–Smirnov p-value between two
+	// independent samples drawn from the class — P2 in its strongest form:
+	// "a different sample of parameter bindings should result in an
+	// identical runtime distribution". High p-value = indistinguishable.
+	KSPValue float64
+}
+
+// X6 runs curation on BSBM-BI Q4 and re-measures the E1/E2 metrics per
+// class.
+func X6(env *Env) (*X6Result, error) {
+	sc := env.Scale
+	r := env.bsbmRunner()
+	q4 := bsbm.Q4()
+
+	// Baseline: uniform sampling (E1/E2 metrics).
+	dom, err := core.ExtractDomain(q4, env.BSBM)
+	if err != nil {
+		return nil, err
+	}
+	uniform := core.NewUniformSampler(dom, sc.Seed+20)
+	msU, err := r.Run(q4, uniform.Sample(sc.Samples))
+	if err != nil {
+		return nil, err
+	}
+	sumU := workload.Summarize(msU, workload.MetricWork)
+	stabU, err := r.GroupStability(q4, uniform, sc.Groups, sc.GroupSize, workload.MetricWork)
+	if err != nil {
+		return nil, err
+	}
+
+	// Curation: analyze + cluster + per-class stratified sampling.
+	a, err := core.Analyze(q4, env.BSBM, dom, core.AnalyzeOptions{Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cl := core.Cluster(a, core.ClusterOptions{MinClassSize: 2, MergeSmall: true})
+	curated := core.Curate("Q4", cl, sc.Seed+21)
+
+	res := &X6Result{
+		UniformAvgDeviation: stabU.AvgDeviation,
+	}
+	if sumU.Mean > 0 {
+		res.UniformVarOverMeanSq = sumU.Variance / (sumU.Mean * sumU.Mean)
+	}
+	res.UniformKSPValue = twoSampleKS(stabU)
+
+	t := report.NewTable("X6: curated classes restore P1-P3 (BSBM-BI Q4)",
+		"workload", "n", "var/mean² (P1)", "group avg dev (P2)", "KS p (P2)", "#plans (P3)")
+	t.Add("uniform (baseline)",
+		fmt.Sprintf("%d", sumU.N),
+		report.FormatFloat(res.UniformVarOverMeanSq),
+		pct(stabU.AvgDeviation),
+		report.FormatFloat(res.UniformKSPValue),
+		fmt.Sprintf("%d", len(workload.DistinctPlans(msU))))
+
+	for _, cq := range curated {
+		ms, err := r.Run(q4, cq.Sampler.Sample(sc.Samples/2))
+		if err != nil {
+			return nil, err
+		}
+		sum := workload.Summarize(ms, workload.MetricWork)
+		stab, err := r.GroupStability(q4, cq.Sampler, sc.Groups, sc.GroupSize, workload.MetricWork)
+		if err != nil {
+			return nil, err
+		}
+		xc := X6Class{
+			Name:                cq.Name,
+			Size:                len(cq.Class.Points),
+			AvgDeviation:        stab.AvgDeviation,
+			DistinctPlans:       len(workload.DistinctPlans(ms)),
+			WithinClassVariance: sum.Variance,
+			KSPValue:            twoSampleKS(stab),
+		}
+		if sum.Mean > 0 {
+			xc.VarOverMeanSq = sum.Variance / (sum.Mean * sum.Mean)
+		}
+		res.Classes = append(res.Classes, xc)
+		t.Add(xc.Name,
+			fmt.Sprintf("%d", xc.Size),
+			report.FormatFloat(xc.VarOverMeanSq),
+			pct(xc.AvgDeviation),
+			report.FormatFloat(xc.KSPValue),
+			fmt.Sprintf("%d", xc.DistinctPlans))
+	}
+	res.Table = t
+	return res, nil
+}
+
+// twoSampleKS runs the two-sample Kolmogorov–Smirnov test between the first
+// two groups of a stability result and returns the p-value.
+func twoSampleKS(stab *workload.StabilityResult) float64 {
+	a := workload.Values(stab.Groups[0].Measurements, workload.MetricWork)
+	b := workload.Values(stab.Groups[1].Measurements, workload.MetricWork)
+	return stats.KSTwoSample(a, b).PValue
+}
+
+// MeanClassVarRatio returns the mean of class var/mean² divided by the
+// uniform var/mean² — the headline improvement factor (≪ 1 when curation
+// works).
+func (r *X6Result) MeanClassVarRatio() float64 {
+	if len(r.Classes) == 0 || r.UniformVarOverMeanSq == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range r.Classes {
+		s += c.VarOverMeanSq
+	}
+	return (s / float64(len(r.Classes))) / r.UniformVarOverMeanSq
+}

@@ -1,0 +1,106 @@
+// Package plan implements the logical query-plan layer: compilation of a
+// bound SPARQL query into a join graph, cardinality estimation backed by
+// exact store statistics, the classical Cout cost function ("sum of
+// intermediate result sizes", Moerkotte), and two join-ordering optimizers —
+// an exact dynamic-programming one (DPsize) and a greedy one for ablation.
+//
+// Plan identity is captured by a canonical Signature string: the paper's
+// conditions (a) and (c) — same/different optimal plan across parameter
+// bindings — are decided by comparing signatures.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// CompiledPattern is one triple pattern translated to the ID space.
+type CompiledPattern struct {
+	Index   int           // position in the query's WHERE clause
+	Pat     store.Pattern // bound positions carry IDs; variables are None
+	VarS    sparql.Var    // variable name per position ("" if bound)
+	VarP    sparql.Var
+	VarO    sparql.Var
+	Missing bool // a constant term does not occur in the dictionary ⇒ empty
+}
+
+// Vars returns the distinct variables of the pattern.
+func (cp CompiledPattern) Vars() []sparql.Var {
+	var out []sparql.Var
+	seen := map[sparql.Var]bool{}
+	for _, v := range []sparql.Var{cp.VarS, cp.VarP, cp.VarO} {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Compiled is a query lowered to the ID space, ready for optimization and
+// execution.
+type Compiled struct {
+	Query    *sparql.Query
+	Patterns []CompiledPattern
+}
+
+// Compile lowers a fully bound query (no parameters) onto a store's
+// dictionary. Constant terms missing from the dictionary are legal — the
+// pattern is marked Missing and has cardinality zero.
+func Compile(q *sparql.Query, st *store.Store) (*Compiled, error) {
+	if ps := q.Params(); len(ps) != 0 {
+		return nil, fmt.Errorf("plan: query has unbound parameters %v", ps)
+	}
+	if len(q.Where) == 0 {
+		return nil, fmt.Errorf("plan: empty WHERE clause")
+	}
+	c := &Compiled{Query: q}
+	d := st.Dict()
+	for i, tp := range q.Where {
+		cp := CompiledPattern{Index: i}
+		assign := func(n sparql.Node, id *dict.ID, v *sparql.Var) {
+			switch n.Kind {
+			case sparql.NodeVar:
+				*v = n.Var
+			case sparql.NodeTerm:
+				got, ok := d.Lookup(n.Term)
+				if !ok {
+					cp.Missing = true
+					return
+				}
+				*id = got
+			}
+		}
+		assign(tp.S, &cp.Pat.S, &cp.VarS)
+		assign(tp.P, &cp.Pat.P, &cp.VarP)
+		assign(tp.O, &cp.Pat.O, &cp.VarO)
+		c.Patterns = append(c.Patterns, cp)
+	}
+	return c, nil
+}
+
+// shareVar reports whether two patterns share at least one variable.
+func shareVar(a, b CompiledPattern) bool {
+	for _, va := range a.Vars() {
+		for _, vb := range b.Vars() {
+			if va == vb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sharedVars returns the variables common to both var sets.
+func sharedVars(a, b map[sparql.Var]bool) []sparql.Var {
+	var out []sparql.Var
+	for v := range a {
+		if b[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package plan
+
+import (
+	"repro/internal/dict"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Set is a cardinality estimate for a set of joined patterns: the output
+// cardinality, per-variable distinct-value estimates, and the bitmask of
+// pattern indexes covered. Optimizers combine Sets through a Model.
+type Set struct {
+	Card     float64
+	Distinct map[sparql.Var]float64
+	Mask     uint32 // bit i set ⇔ pattern with Index i is included
+}
+
+// Model produces cardinality estimates for single patterns and joins. The
+// default implementation is Estimator (exact single-pattern counts +
+// independence assumption); SamplingEstimator replaces the independence
+// assumption with sampled pairwise join selectivities.
+type Model interface {
+	Leaf(cp CompiledPattern) Set
+	Join(a, b Set) Set
+}
+
+// Estimator is the default Model: single-pattern estimates are *exact*
+// (the hexastore answers every pattern shape by binary search) and joins
+// use the classical independence assumption with per-variable
+// distinct-value counts.
+type Estimator struct {
+	st *store.Store
+}
+
+// NewEstimator returns an estimator over st.
+func NewEstimator(st *store.Store) *Estimator { return &Estimator{st: st} }
+
+// Store returns the underlying store.
+func (e *Estimator) Store() *store.Store { return e.st }
+
+// PatternCard returns the exact cardinality of a compiled pattern.
+func (e *Estimator) PatternCard(cp CompiledPattern) float64 {
+	if cp.Missing {
+		return 0
+	}
+	return float64(e.st.Count(cp.Pat))
+}
+
+// varDistinct estimates the number of distinct values the pattern's
+// variable v can take among the pattern's matches.
+func (e *Estimator) varDistinct(cp CompiledPattern, v sparql.Var) float64 {
+	if cp.Missing {
+		return 0
+	}
+	card := float64(e.st.Count(cp.Pat))
+	if card == 0 {
+		return 0
+	}
+	// Position of v within the pattern.
+	var pos int
+	switch v {
+	case cp.VarS:
+		pos = 0
+	case cp.VarP:
+		pos = 1
+	case cp.VarO:
+		pos = 2
+	default:
+		return card
+	}
+	// With a bound predicate we have exact per-predicate distinct counts.
+	if cp.Pat.P != dict.None {
+		st := e.st.PredicateStats(cp.Pat.P)
+		var d float64
+		switch pos {
+		case 0:
+			if cp.Pat.O != dict.None {
+				// (?, p, o): every match has a distinct subject.
+				return card
+			}
+			d = float64(st.DistinctS)
+		case 2:
+			if cp.Pat.S != dict.None {
+				return card
+			}
+			d = float64(st.DistinctO)
+		default:
+			return 1 // predicate is bound; var cannot sit there
+		}
+		if d > card {
+			d = card
+		}
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	// Unbound predicate: fall back to the global distinct count for the
+	// position, capped by the pattern cardinality.
+	d := float64(e.st.Dict().Len())
+	if d > card {
+		d = card
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Leaf builds the estimate for a single pattern.
+func (e *Estimator) Leaf(cp CompiledPattern) Set {
+	s := Set{Card: e.PatternCard(cp), Distinct: map[sparql.Var]float64{}}
+	if cp.Index >= 0 && cp.Index < 32 {
+		s.Mask = 1 << cp.Index
+	}
+	for _, v := range cp.Vars() {
+		s.Distinct[v] = e.varDistinct(cp, v)
+	}
+	return s
+}
+
+// Join estimates the join of a and b under the independence assumption.
+func (e *Estimator) Join(a, b Set) Set { return joinSets(a, b) }
+
+// joinSets estimates the join of a and b. For each shared variable v the
+// classical formula divides by max(d_a(v), d_b(v)); disjoint var sets give
+// a cross product.
+func joinSets(a, b Set) Set {
+	card := a.Card * b.Card
+	avars := map[sparql.Var]bool{}
+	for v := range a.Distinct {
+		avars[v] = true
+	}
+	bvars := map[sparql.Var]bool{}
+	for v := range b.Distinct {
+		bvars[v] = true
+	}
+	for _, v := range sharedVars(avars, bvars) {
+		da, db := a.Distinct[v], b.Distinct[v]
+		m := da
+		if db > m {
+			m = db
+		}
+		if m > 0 {
+			card /= m
+		}
+	}
+	out := Set{
+		Card:     card,
+		Distinct: make(map[sparql.Var]float64, len(a.Distinct)+len(b.Distinct)),
+		Mask:     a.Mask | b.Mask,
+	}
+	for v, d := range a.Distinct {
+		out.Distinct[v] = d
+	}
+	for v, d := range b.Distinct {
+		if prev, ok := out.Distinct[v]; !ok || d < prev {
+			out.Distinct[v] = d
+		}
+	}
+	// No variable can exceed the output cardinality.
+	for v, d := range out.Distinct {
+		if d > out.Card {
+			out.Distinct[v] = out.Card
+		}
+	}
+	return out
+}

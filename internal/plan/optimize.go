@@ -1,0 +1,215 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/sparql"
+)
+
+// MaxDPPatterns is the largest pattern count optimized with exact dynamic
+// programming; larger queries fall back to the greedy algorithm. Subset DP
+// enumerates 3^n splits, so 13 (≈1.6M splits) is a comfortable bound.
+const MaxDPPatterns = 13
+
+// Optimize returns the Cout-optimal join tree for c, computed by exact
+// dynamic programming over connected subproblems when the query has at most
+// MaxDPPatterns patterns, and by the greedy heuristic otherwise.
+func Optimize(c *Compiled, est Model) (*Plan, error) {
+	if len(c.Patterns) <= MaxDPPatterns {
+		return optimizeDP(c, est)
+	}
+	return OptimizeGreedy(c, est)
+}
+
+type dpEntry struct {
+	node *Node
+	est  Set
+}
+
+// optimizeDP is a DPsub-style enumerator: for every subset of patterns it
+// keeps the cheapest tree, preferring splits whose sides share a variable
+// and falling back to cross products only when a subset is disconnected.
+func optimizeDP(c *Compiled, est Model) (*Plan, error) {
+	n := len(c.Patterns)
+	if n == 0 {
+		return nil, fmt.Errorf("plan: no patterns")
+	}
+	if n > 30 {
+		return nil, fmt.Errorf("plan: too many patterns for DP (%d)", n)
+	}
+	full := uint32(1<<n) - 1
+	table := make([]*dpEntry, 1<<n)
+	// Leaves.
+	for i := 0; i < n; i++ {
+		cp := &c.Patterns[i]
+		s := est.Leaf(*cp)
+		table[1<<i] = &dpEntry{
+			node: &Node{Leaf: cp, Card: s.Card, Cost: 0},
+			est:  s,
+		}
+	}
+	// Variable sets per mask for connectivity checks.
+	varsOf := make([]map[sparql.Var]bool, 1<<n)
+	for i := 0; i < n; i++ {
+		vs := map[sparql.Var]bool{}
+		for _, v := range c.Patterns[i].Vars() {
+			vs[v] = true
+		}
+		varsOf[1<<i] = vs
+	}
+	for mask := uint32(1); mask <= full; mask++ {
+		if bits.OnesCount32(mask) < 2 {
+			continue
+		}
+		// Union variable set.
+		vs := map[sparql.Var]bool{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				for v := range varsOf[1<<i] {
+					vs[v] = true
+				}
+			}
+		}
+		varsOf[mask] = vs
+		best := chooseBestSplit(est, mask, table, varsOf, true)
+		if best == nil {
+			// Disconnected subset: allow cross products.
+			best = chooseBestSplit(est, mask, table, varsOf, false)
+		}
+		table[mask] = best
+	}
+	root := table[full]
+	if root == nil {
+		return nil, fmt.Errorf("plan: DP failed to cover all patterns")
+	}
+	return &Plan{
+		Root:      root.node,
+		EstCost:   root.node.Cost,
+		EstCard:   root.node.Card,
+		Signature: root.node.Signature(),
+		Method:    "dp",
+	}, nil
+}
+
+// chooseBestSplit scans all proper submask splits of mask; when
+// requireShared is true, only splits whose sides share a variable qualify.
+func chooseBestSplit(est Model, mask uint32, table []*dpEntry, varsOf []map[sparql.Var]bool, requireShared bool) *dpEntry {
+	var best *dpEntry
+	// Enumerate submasks; consider each unordered split once (sub < rest).
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		rest := mask &^ sub
+		if sub > rest {
+			continue
+		}
+		l, r := table[sub], table[rest]
+		if l == nil || r == nil {
+			continue
+		}
+		if requireShared && len(sharedVars(varsOf[sub], varsOf[rest])) == 0 {
+			continue
+		}
+		joined := est.Join(l.est, r.est)
+		cost := joined.Card + l.node.Cost + r.node.Cost
+		if best == nil || cost < best.node.Cost ||
+			(cost == best.node.Cost && tieBreak(l.node, r.node, best)) {
+			best = &dpEntry{
+				node: &Node{
+					Left:  l.node,
+					Right: r.node,
+					Card:  joined.Card,
+					Cost:  cost,
+				},
+				est: joined,
+			}
+		}
+	}
+	return best
+}
+
+// tieBreak makes DP deterministic when two splits have identical cost: the
+// split with the lexicographically smaller signature wins.
+func tieBreak(l, r *Node, best *dpEntry) bool {
+	cand := (&Node{Left: l, Right: r}).Signature()
+	return cand < best.node.Signature()
+}
+
+// OptimizeGreedy builds a join tree greedily: start from the
+// smallest-cardinality pattern, then repeatedly join the relation that
+// minimizes the resulting intermediate size, preferring connected joins.
+// Used directly in the greedy-vs-DP ablation and as the fallback for
+// queries beyond MaxDPPatterns.
+func OptimizeGreedy(c *Compiled, est Model) (*Plan, error) {
+	n := len(c.Patterns)
+	if n == 0 {
+		return nil, fmt.Errorf("plan: no patterns")
+	}
+	type item struct {
+		node *Node
+		est  Set
+		vars map[sparql.Var]bool
+	}
+	remaining := make([]*item, 0, n)
+	for i := range c.Patterns {
+		cp := &c.Patterns[i]
+		s := est.Leaf(*cp)
+		vs := map[sparql.Var]bool{}
+		for _, v := range cp.Vars() {
+			vs[v] = true
+		}
+		remaining = append(remaining, &item{
+			node: &Node{Leaf: cp, Card: s.Card},
+			est:  s,
+			vars: vs,
+		})
+	}
+	// Seed: smallest cardinality (ties: smallest pattern index).
+	seedIdx := 0
+	for i, it := range remaining {
+		if it.est.Card < remaining[seedIdx].est.Card {
+			seedIdx = i
+		}
+	}
+	cur := remaining[seedIdx]
+	remaining = append(remaining[:seedIdx], remaining[seedIdx+1:]...)
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestCard := math.Inf(1)
+		bestConnected := false
+		for i, it := range remaining {
+			connected := len(sharedVars(cur.vars, it.vars)) > 0
+			if bestConnected && !connected {
+				continue
+			}
+			j := est.Join(cur.est, it.est)
+			if (connected && !bestConnected) || j.Card < bestCard {
+				bestIdx, bestCard, bestConnected = i, j.Card, connected
+			}
+		}
+		next := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		joined := est.Join(cur.est, next.est)
+		node := &Node{
+			Left:  cur.node,
+			Right: next.node,
+			Card:  joined.Card,
+			Cost:  joined.Card + cur.node.Cost + next.node.Cost,
+		}
+		vars := map[sparql.Var]bool{}
+		for v := range cur.vars {
+			vars[v] = true
+		}
+		for v := range next.vars {
+			vars[v] = true
+		}
+		cur = &item{node: node, est: joined, vars: vars}
+	}
+	return &Plan{
+		Root:      cur.node,
+		EstCost:   cur.node.Cost,
+		EstCard:   cur.node.Card,
+		Signature: cur.node.Signature(),
+		Method:    "greedy",
+	}, nil
+}

@@ -1,0 +1,282 @@
+package plan
+
+import (
+	"math/bits"
+
+	"repro/internal/dict"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// SamplingEstimator is a correlation-aware Model: instead of assuming
+// independence between join predicates, it measures pairwise join
+// selectivities by probing the store with (a sample of) the actual pattern
+// matches. On correlated data (the paper's central concern) the
+// independence assumption can be off by orders of magnitude; sampled
+// selectivities capture the correlation at a bounded cost.
+//
+// The model is System-R-style pairwise: card(A ⋈ B) is estimated as
+// card(A)·card(B)·∏ s_ij over connected pattern pairs (i∈A, j∈B), where
+// s_ij = |p_i ⋈ p_j| / (|p_i|·|p_j|) is computed once per compiled query by
+// index probing. Per-variable distinct counts and everything else follow
+// the base Estimator.
+type SamplingEstimator struct {
+	base *Estimator
+	// pairSel[i][j] is s_ij for connected pattern pairs; -1 when the pair
+	// shares no variable.
+	pairSel [][]float64
+	// varsOf[i] is the variable set of pattern i.
+	varsOf []map[sparql.Var]bool
+	// leafD[i][v] is the base estimator's distinct-value estimate for
+	// variable v in pattern i (used to pick the representative pair).
+	leafD []map[sparql.Var]float64
+	// sampleSize bounds the number of outer rows probed per pair.
+	sampleSize int
+}
+
+// DefaultSampleSize bounds per-pair probing work.
+const DefaultSampleSize = 512
+
+// NewSamplingEstimator precomputes pairwise join selectivities for the
+// compiled query c. sampleSize <= 0 selects DefaultSampleSize.
+func NewSamplingEstimator(st *store.Store, c *Compiled, sampleSize int) *SamplingEstimator {
+	if sampleSize <= 0 {
+		sampleSize = DefaultSampleSize
+	}
+	e := &SamplingEstimator{
+		base:       NewEstimator(st),
+		sampleSize: sampleSize,
+	}
+	n := len(c.Patterns)
+	e.pairSel = make([][]float64, n)
+	e.varsOf = make([]map[sparql.Var]bool, n)
+	for i := range e.pairSel {
+		e.pairSel[i] = make([]float64, n)
+		for j := range e.pairSel[i] {
+			e.pairSel[i][j] = -1
+		}
+		e.varsOf[i] = map[sparql.Var]bool{}
+		e.leafD = append(e.leafD, map[sparql.Var]float64{})
+		for _, v := range c.Patterns[i].Vars() {
+			e.varsOf[i][v] = true
+			e.leafD[i][v] = e.base.varDistinct(c.Patterns[i], v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !shareVar(c.Patterns[i], c.Patterns[j]) {
+				continue
+			}
+			s := e.sampleJoinSelectivity(&c.Patterns[i], &c.Patterns[j])
+			e.pairSel[i][j] = s
+			e.pairSel[j][i] = s
+		}
+	}
+	return e
+}
+
+// sampleJoinSelectivity estimates |a ⋈ b| / (|a|·|b|) by binding a sample
+// of a's matches into b and summing exact index counts.
+func (e *SamplingEstimator) sampleJoinSelectivity(a, b *CompiledPattern) float64 {
+	st := e.base.Store()
+	if a.Missing || b.Missing {
+		return 0
+	}
+	ca, cb := st.Count(a.Pat), st.Count(b.Pat)
+	if ca == 0 || cb == 0 {
+		return 0
+	}
+	// Probe from the smaller side for accuracy.
+	if cb < ca {
+		a, b = b, a
+		ca, cb = cb, ca
+	}
+	matches, _ := st.Match(a.Pat)
+	stride := 1
+	if len(matches) > e.sampleSize {
+		stride = len(matches) / e.sampleSize
+	}
+	// Positions of a's variables shared with b, and the b positions they
+	// bind.
+	type link struct{ aPos, bPos int }
+	var links []link
+	aVars := [3]sparql.Var{a.VarS, a.VarP, a.VarO}
+	bVars := [3]sparql.Var{b.VarS, b.VarP, b.VarO}
+	for ai, av := range aVars {
+		if av == "" {
+			continue
+		}
+		for bi, bv := range bVars {
+			if av == bv {
+				links = append(links, link{aPos: ai, bPos: bi})
+			}
+		}
+	}
+	if len(links) == 0 {
+		return -1
+	}
+	get := func(t store.IDTriple, pos int) dict.ID {
+		switch pos {
+		case 0:
+			return t.S
+		case 1:
+			return t.P
+		default:
+			return t.O
+		}
+	}
+	var joined float64
+	probed := 0
+	for i := 0; i < len(matches); i += stride {
+		m := matches[i]
+		pat := b.Pat
+		conflict := false
+		for _, l := range links {
+			v := get(m, l.aPos)
+			switch l.bPos {
+			case 0:
+				if pat.S != dict.None && pat.S != v {
+					conflict = true
+				}
+				pat.S = v
+			case 1:
+				if pat.P != dict.None && pat.P != v {
+					conflict = true
+				}
+				pat.P = v
+			default:
+				if pat.O != dict.None && pat.O != v {
+					conflict = true
+				}
+				pat.O = v
+			}
+		}
+		probed++
+		if conflict {
+			continue
+		}
+		joined += float64(st.Count(pat))
+	}
+	if probed == 0 {
+		return 0
+	}
+	// Scale the sampled join size back to the full outer side.
+	est := joined * float64(len(matches)) / float64(probed)
+	return est / (float64(ca) * float64(cb))
+}
+
+// Leaf delegates to the exact single-pattern estimator.
+func (e *SamplingEstimator) Leaf(cp CompiledPattern) Set { return e.base.Leaf(cp) }
+
+// Join estimates card(A⋈B) with sampled pairwise selectivities. The join
+// condition between the two sides is one equality per shared *variable*
+// (further pattern pairs through the same variable are transitively
+// redundant — multiplying them all would badly over-correct on star
+// queries), so the model greedily picks one representative sampled pair per
+// uncovered shared variable; a chosen pair covers every variable it binds.
+// Variables with no sampled pair fall back to the independence formula.
+// Distinct-value bookkeeping reuses the base model.
+func (e *SamplingEstimator) Join(a, b Set) Set {
+	out := joinSets(a, b) // distincts, mask, and the fallback card
+	// Shared variables between the sides.
+	bvars := map[sparql.Var]bool{}
+	for v := range b.Distinct {
+		bvars[v] = true
+	}
+	var shared []sparql.Var
+	for v := range a.Distinct {
+		if bvars[v] {
+			shared = append(shared, v)
+		}
+	}
+	if len(shared) == 0 {
+		return out
+	}
+	sortVars(shared)
+	card := a.Card * b.Card
+	covered := map[sparql.Var]bool{}
+	applied := false
+	for _, v := range shared {
+		if covered[v] {
+			continue
+		}
+		// Representative pair: the patterns that bound v most tightly on
+		// each side — the tuples surviving into an intermediate result are
+		// characterized by the most selective pattern's values of v, so its
+		// sampled pair best approximates the conditional selectivity.
+		bi, bj, bestSel := -1, -1, -1.0
+		bestScore := -1.0
+		for _, i := range maskIndexes(a.Mask) {
+			if !e.patternHasVar(i, v) {
+				continue
+			}
+			for _, j := range maskIndexes(b.Mask) {
+				if !e.patternHasVar(j, v) {
+					continue
+				}
+				if i >= len(e.pairSel) || j >= len(e.pairSel) || e.pairSel[i][j] < 0 {
+					continue
+				}
+				score := e.leafD[i][v] + e.leafD[j][v] // lower = tighter
+				if bestScore < 0 || score < bestScore {
+					bi, bj, bestSel, bestScore = i, j, e.pairSel[i][j], score
+				}
+			}
+		}
+		if bestSel < 0 {
+			// No sampled pair: independence fallback for this variable.
+			da, db := a.Distinct[v], b.Distinct[v]
+			m := da
+			if db > m {
+				m = db
+			}
+			if m > 0 {
+				card /= m
+			}
+			covered[v] = true
+			continue
+		}
+		card *= bestSel
+		applied = true
+		// The chosen pair covers every variable both its patterns bind.
+		for _, u := range shared {
+			if e.patternHasVar(bi, u) && e.patternHasVar(bj, u) {
+				covered[u] = true
+			}
+		}
+	}
+	if applied {
+		out.Card = card
+		for v, d := range out.Distinct {
+			if d > out.Card {
+				out.Distinct[v] = out.Card
+			}
+		}
+	}
+	return out
+}
+
+func (e *SamplingEstimator) patternHasVar(i int, v sparql.Var) bool {
+	if i < 0 || i >= len(e.varsOf) {
+		return false
+	}
+	return e.varsOf[i][v]
+}
+
+func sortVars(vs []sparql.Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+func maskIndexes(mask uint32) []int {
+	out := make([]int, 0, bits.OnesCount32(mask))
+	for mask != 0 {
+		i := bits.TrailingZeros32(mask)
+		out = append(out, i)
+		mask &^= 1 << i
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// buildCorrelatedStore creates data where the independence assumption is
+// badly wrong: predicate pa and pb are perfectly correlated (every subject
+// with pa=x also has pb=x), so |pa ⋈ pb on subject| = N, while independence
+// predicts N·N/N = N as well... To produce a real gap we correlate
+// *values*: subjects are split into groups; within a group everyone shares
+// the same (a, b) combination, so joining on object via an intermediate
+// variable explodes only for correlated pairs.
+func buildCorrelatedStore(t testing.TB) *store.Store {
+	t.Helper()
+	b := store.NewBuilder()
+	add := func(s, p, o rdf.Term) {
+		t.Helper()
+		if err := b.Add(rdf.NewTriple(s, p, o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	// 1000 people; tag (hobby) and city are perfectly correlated: hobby_i
+	// occurs only in city_i. Independence predicts a hobby×city join to be
+	// |hobby|·|city|/distinct ≈ uniform, but the true join is block-diagonal.
+	for i := 0; i < 1000; i++ {
+		p := iri(fmt.Sprintf("p%d", i))
+		g := rng.Intn(10)
+		add(p, iri("hobby"), iri(fmt.Sprintf("hobby%d", g)))
+		add(p, iri("city"), iri(fmt.Sprintf("city%d", g)))
+	}
+	return b.Build()
+}
+
+func TestSamplingEstimatorCorrelatedJoin(t *testing.T) {
+	st := buildCorrelatedStore(t)
+	// ?x hobby H . ?y hobby H is fine for both; the correlated case:
+	// ?p hobby ?h . ?p city ?c — join on ?p. True size: 1000 (each person
+	// matches its own pair). Independence also gets this right (distinct
+	// subjects). The interesting case is a *value* join:
+	// ?p1 hobby ?h is irrelevant — use the star query per person but check
+	// pairwise selectivity sampling matches the true join size.
+	c := mustCompile(t, st, `SELECT * WHERE {
+  ?p <http://x/hobby> ?h .
+  ?q <http://x/city> ?c .
+  ?p <http://x/city> ?c .
+}`)
+	se := NewSamplingEstimator(st, c, 0)
+	// Pattern 1 and 2 join on ?c: true join size = sum over cities of
+	// |q in city| * |p in city| = 10 groups ≈ 100² each ≈ 100k. Sampled
+	// selectivity should reproduce that within sampling error.
+	sel := se.pairSel[1][2]
+	if sel < 0 {
+		t.Fatal("patterns 1,2 share ?c but no selectivity sampled")
+	}
+	est := sel * 1000 * 1000
+	// True size: Σ_g |city_g|² with ~100 per group ⇒ ≈ 100k (exact value
+	// depends on the rng; recompute).
+	counts := map[string]int{}
+	cityID, _ := st.Dict().Lookup(iri("city"))
+	ms, _ := st.Match(store.Pattern{P: cityID})
+	for _, m := range ms {
+		counts[fmt.Sprint(m.O)]++
+	}
+	truth := 0.0
+	for _, n := range counts {
+		truth += float64(n) * float64(n)
+	}
+	if est < truth*0.5 || est > truth*2 {
+		t.Fatalf("sampled join estimate %.0f far from truth %.0f", est, truth)
+	}
+}
+
+func TestSamplingEstimatorFullPipeline(t *testing.T) {
+	st := buildIntroStore(t)
+	c := mustCompile(t, st, `SELECT * WHERE {
+  ?p <http://x/firstName> "Li" .
+  ?p <http://x/livesIn> <http://x/China> .
+  ?p a <http://x/Person> .
+}`)
+	se := NewSamplingEstimator(st, c, 0)
+	p, err := Optimize(c, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Root.Patterns()) != 3 {
+		t.Fatal("sampling-estimated plan incomplete")
+	}
+	// The correlated case: Li∧China co-occur heavily. The sampling
+	// estimator's root cardinality should be close to the true result
+	// (≈200 Li in China), where independence underestimates
+	// (1000·distinct assumptions).
+	ind, err := Optimize(c, NewEstimator(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueResultSize(t, st)
+	errSampling := ratio(p.EstCard, truth)
+	errIndep := ratio(ind.EstCard, truth)
+	if errSampling > errIndep*1.5 {
+		t.Fatalf("sampling estimate (%.0f) worse than independence (%.0f) vs truth %.0f",
+			p.EstCard, ind.EstCard, truth)
+	}
+}
+
+func trueResultSize(t testing.TB, st *store.Store) float64 {
+	t.Helper()
+	d := st.Dict()
+	li, ok1 := d.Lookup(rdf.NewLiteral("Li"))
+	china, ok2 := d.Lookup(iri("China"))
+	fn, _ := d.Lookup(iri("firstName"))
+	liv, _ := d.Lookup(iri("livesIn"))
+	if !ok1 || !ok2 {
+		t.Fatal("terms missing")
+	}
+	named, _ := st.Match(store.Pattern{P: fn, O: li})
+	n := 0.0
+	for _, m := range named {
+		if st.Count(store.Pattern{S: m.S, P: liv, O: china}) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func ratio(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 1e9
+	}
+	if a < b {
+		return b / a
+	}
+	return a / b
+}
+
+func TestSamplingEstimatorMissingPattern(t *testing.T) {
+	st := buildIntroStore(t)
+	c := mustCompile(t, st, `SELECT * WHERE {
+  ?p <http://x/firstName> "Zzyzx" .
+  ?p <http://x/livesIn> ?c .
+}`)
+	se := NewSamplingEstimator(st, c, 0)
+	p, err := Optimize(c, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstCard != 0 {
+		t.Fatalf("missing pattern should zero the estimate, got %v", p.EstCard)
+	}
+}
+
+func TestSamplingEstimatorDisconnected(t *testing.T) {
+	st := buildIntroStore(t)
+	c := mustCompile(t, st, `SELECT * WHERE {
+  ?p <http://x/firstName> "Li" .
+  ?q <http://x/firstName> "John" .
+}`)
+	se := NewSamplingEstimator(st, c, 0)
+	if se.pairSel[0][1] != -1 {
+		t.Fatal("disconnected pair should have no selectivity")
+	}
+	p, err := Optimize(c, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstCard <= 0 {
+		t.Fatal("cross product should be positive")
+	}
+}
+
+func TestSamplingSampleSizeBound(t *testing.T) {
+	st := buildIntroStore(t)
+	c := mustCompile(t, st, `SELECT * WHERE {
+  ?p <http://x/firstName> ?n .
+  ?p <http://x/livesIn> ?c .
+}`)
+	// Tiny sample must still yield a sane selectivity.
+	se := NewSamplingEstimator(st, c, 8)
+	sel := se.pairSel[0][1]
+	if sel <= 0 || sel > 1 {
+		t.Fatalf("selectivity = %v, want (0,1]", sel)
+	}
+}

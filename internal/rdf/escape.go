@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// escapeLiteral escapes a literal lexical form for N-Triples output.
+// N-Triples requires escaping of ", \, LF and CR; we additionally escape TAB
+// for readability. All other characters are emitted as UTF-8.
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeIRI escapes characters not allowed inside <...> in N-Triples.
+func escapeIRI(s string) string {
+	if !strings.ContainsAny(s, "<>\"{}|^`\\\x00 \n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch {
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r <= 0x20 || strings.ContainsRune("<>\"{}|^`", r):
+			if r > 0xFFFF {
+				fmt.Fprintf(&b, `\U%08X`, r)
+			} else {
+				fmt.Fprintf(&b, `\u%04X`, r)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Unescape decodes N-Triples string escapes (\t \b \n \r \f \" \' \\ \uXXXX
+// \UXXXXXXXX). It returns an error on malformed escapes or invalid UTF-8 —
+// RDF terms are Unicode strings, and accepting arbitrary bytes would break
+// the serialization round trip. It is used by both the N-Triples reader and
+// the SPARQL lexer (IRI references share this escape syntax).
+func Unescape(s string) (string, error) {
+	if !utf8.ValidString(s) {
+		return "", fmt.Errorf("rdf: invalid UTF-8 in %q", s)
+	}
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("rdf: dangling backslash at end of %q", s)
+		}
+		switch e := s[i+1]; e {
+		case 't':
+			b.WriteByte('\t')
+			i += 2
+		case 'b':
+			b.WriteByte('\b')
+			i += 2
+		case 'n':
+			b.WriteByte('\n')
+			i += 2
+		case 'r':
+			b.WriteByte('\r')
+			i += 2
+		case 'f':
+			b.WriteByte('\f')
+			i += 2
+		case '"':
+			b.WriteByte('"')
+			i += 2
+		case '\'':
+			b.WriteByte('\'')
+			i += 2
+		case '\\':
+			b.WriteByte('\\')
+			i += 2
+		case 'u':
+			r, err := hexRune(s, i+2, 4)
+			if err != nil {
+				return "", err
+			}
+			b.WriteRune(r)
+			i += 6
+		case 'U':
+			r, err := hexRune(s, i+2, 8)
+			if err != nil {
+				return "", err
+			}
+			b.WriteRune(r)
+			i += 10
+		default:
+			return "", fmt.Errorf("rdf: invalid escape \\%c in %q", e, s)
+		}
+	}
+	return b.String(), nil
+}
+
+func hexRune(s string, start, n int) (rune, error) {
+	if start+n > len(s) {
+		return 0, fmt.Errorf("rdf: truncated unicode escape in %q", s)
+	}
+	var v rune
+	for i := start; i < start+n; i++ {
+		c := s[i]
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("rdf: invalid hex digit %q in unicode escape", c)
+		}
+		v = v<<4 | d
+	}
+	if !utf8.ValidRune(v) {
+		return 0, fmt.Errorf("rdf: escape denotes invalid rune U+%X", v)
+	}
+	return v, nil
+}

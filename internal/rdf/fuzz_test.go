@@ -1,0 +1,71 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks the N-Triples parser on arbitrary input: it must never
+// panic, and every successfully parsed triple must round-trip through the
+// writer byte-identically (semantic fixpoint).
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		`<http://x/s> <http://x/p> <http://x/o> .`,
+		`<http://x/s> <http://x/p> "lit" .`,
+		`<http://x/s> <http://x/p> "lit"@en-GB .`,
+		`<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		`_:b1 <http://x/p> _:b2 .`,
+		`# comment` + "\n" + `<http://x/s> <http://x/p> "a\"b\\c\nd" .`,
+		`<http://x/é> <http://x/p> "\U0001F600" .`,
+		"bogus line",
+		`<http://x/s> <http://x/p> "unterminated`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		var parsed []Triple
+		for {
+			tr, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // malformed input is fine; panics are not
+			}
+			parsed = append(parsed, tr)
+			if len(parsed) > 1000 {
+				break
+			}
+		}
+		if len(parsed) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, tr := range parsed {
+			if err := w.Write(tr); err != nil {
+				t.Fatalf("parsed triple failed to serialize: %v (%+v)", err, tr)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("serialized output failed to re-parse: %v\n%s", err, buf.String())
+		}
+		if len(got) != len(parsed) {
+			t.Fatalf("round trip changed triple count: %d vs %d", len(got), len(parsed))
+		}
+		for i := range parsed {
+			if got[i] != parsed[i] {
+				t.Fatalf("triple %d changed: %+v vs %+v", i, got[i], parsed[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Reader parses N-Triples (RDF 1.1 N-Triples grammar, plus '#' comments and
+// blank lines). It is a streaming parser: call Read repeatedly until io.EOF.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader consuming N-Triples from r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next triple. It returns io.EOF when the input is
+// exhausted, and a *ParseError on malformed input.
+func (r *Reader) Read() (Triple, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line)
+		if err != nil {
+			return Triple{}, &ParseError{Line: r.line, Err: err}
+		}
+		return t, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the remaining input and returns all triples.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseError describes a syntax error with its 1-based line number.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// parseLine parses one non-empty, non-comment N-Triples statement.
+func parseLine(line string) (Triple, error) {
+	p := &lineParser{s: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	if s.Kind == Literal {
+		return Triple{}, fmt.Errorf("subject must not be a literal")
+	}
+	p.skipWS()
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	if pr.Kind != IRI {
+		return Triple{}, fmt.Errorf("predicate must be an IRI")
+	}
+	p.skipWS()
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipWS()
+	if !p.eat('.') {
+		return Triple{}, fmt.Errorf("expected terminating '.' near offset %d", p.i)
+	}
+	p.skipWS()
+	if p.i != len(p.s) {
+		return Triple{}, fmt.Errorf("trailing content %q", p.s[p.i:])
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+type lineParser struct {
+	s string
+	i int
+}
+
+func (p *lineParser) skipWS() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *lineParser) eat(c byte) bool {
+	if p.i < len(p.s) && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *lineParser) term() (Term, error) {
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.s[p.i] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q at offset %d", p.s[p.i], p.i)
+	}
+}
+
+func (p *lineParser) iri() (Term, error) {
+	p.i++ // '<'
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != '>' {
+		// A backslash may escape '>' inside an IRI via >, but a raw
+		// escaped sequence never contains '>', so scanning for '>' is safe.
+		p.i++
+	}
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	raw := p.s[start:p.i]
+	p.i++ // '>'
+	v, err := Unescape(raw)
+	if err != nil {
+		return Term{}, err
+	}
+	if v == "" {
+		return Term{}, fmt.Errorf("empty IRI")
+	}
+	return NewIRI(v), nil
+}
+
+func (p *lineParser) blank() (Term, error) {
+	if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+		return Term{}, fmt.Errorf("malformed blank node at offset %d", p.i)
+	}
+	p.i += 2
+	start := p.i
+	for p.i < len(p.s) && isBlankLabelChar(p.s[p.i]) {
+		p.i++
+	}
+	if p.i == start {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	return NewBlank(p.s[start:p.i]), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *lineParser) literal() (Term, error) {
+	p.i++ // '"'
+	start := p.i
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case '\\':
+			p.i += 2
+		case '"':
+			raw := p.s[start:p.i]
+			p.i++
+			lex, err := Unescape(raw)
+			if err != nil {
+				return Term{}, err
+			}
+			return p.literalSuffix(lex)
+		default:
+			p.i++
+		}
+	}
+	return Term{}, fmt.Errorf("unterminated literal")
+}
+
+func (p *lineParser) literalSuffix(lex string) (Term, error) {
+	if p.i < len(p.s) && p.s[p.i] == '@' {
+		p.i++
+		start := p.i
+		for p.i < len(p.s) && isLangChar(p.s[p.i]) {
+			p.i++
+		}
+		if p.i == start {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.s[start:p.i]), nil
+	}
+	if strings.HasPrefix(p.s[p.i:], "^^") {
+		p.i += 2
+		if p.i >= len(p.s) || p.s[p.i] != '<' {
+			return Term{}, fmt.Errorf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		if dt.Value == XSDString {
+			return NewLiteral(lex), nil
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func isLangChar(c byte) bool {
+	return c == '-' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Writer serializes triples as N-Triples.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer emitting N-Triples to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 256*1024)}
+}
+
+// Write emits one triple. Errors are sticky.
+func (w *Writer) Write(t Triple) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !t.Valid() {
+		w.err = fmt.Errorf("ntriples: invalid triple %v", t)
+		return w.err
+	}
+	if _, err := w.w.WriteString(t.String()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of triples written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

@@ -1,0 +1,169 @@
+package rdf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReaderBasic(t *testing.T) {
+	input := `
+# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/p> "lit" .
+
+<http://x/s> <http://x/p> "lit"@en .
+<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://x/p> _:b2 .
+`
+	r := NewReader(strings.NewReader(input))
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d triples, want 5", len(got))
+	}
+	if got[0].O != NewIRI("http://x/o") {
+		t.Errorf("triple 0 object = %v", got[0].O)
+	}
+	if got[2].O != NewLangLiteral("lit", "en") {
+		t.Errorf("triple 2 object = %v", got[2].O)
+	}
+	if got[3].O != NewInteger(5) {
+		t.Errorf("triple 3 object = %v", got[3].O)
+	}
+	if got[4].S != NewBlank("b1") || got[4].O != NewBlank("b2") {
+		t.Errorf("triple 4 = %v", got[4])
+	}
+}
+
+func TestReaderXSDStringNormalized(t *testing.T) {
+	// An explicit ^^xsd:string datatype must normalize to a plain literal so
+	// that equal terms compare equal.
+	in := `<http://x/s> <http://x/p> "v"^^<http://www.w3.org/2001/XMLSchema#string> .`
+	r := NewReader(strings.NewReader(in))
+	tr, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.O != NewLiteral("v") {
+		t.Fatalf("got %+v, want plain literal", tr.O)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> <http://x/o>`,          // missing dot
+		`"lit" <http://x/p> <http://x/o> .`,               // literal subject
+		`<http://x/s> _:b <http://x/o> .`,                 // blank predicate
+		`<http://x/s> <http://x/p> "unterminated .`,       // unterminated literal
+		`<http://x/s> <http://x/p> <http://x/o> . extra`,  // trailing garbage
+		`<http://x/s> <http://x/p .`,                      // unterminated IRI
+		`<http://x/s> <http://x/p> "v"@ .`,                // empty lang
+		`<http://x/s> <http://x/p> "v"^^"notiri" .`,       // bad datatype
+		`<http://x/s> <http://x/p> "bad \q escape" .`,     // invalid escape
+		`<> <http://x/p> <http://x/o> .`,                  // empty IRI
+		`_: <http://x/p> <http://x/o> .`,                  // empty blank label
+		`<http://x/s> <http://x/p> "v"^^<dt> . trailing.`, // trailing
+	}
+	for _, in := range bad {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.Read(); err == nil || err == io.EOF {
+			t.Errorf("input %q: expected parse error, got %v", in, err)
+		}
+	}
+}
+
+func TestParseErrorLineNumber(t *testing.T) {
+	in := "<http://x/s> <http://x/p> <http://x/o> .\nbogus line\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Read()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *ParseError, got %T %v", err, err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if pe.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	bad := NewTriple(NewLiteral("s"), NewIRI("http://x/p"), NewLiteral("o"))
+	if err := w.Write(bad); err == nil {
+		t.Fatal("expected error for invalid triple")
+	}
+	// sticky error
+	good := NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("o"))
+	if err := w.Write(good); err == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	triples := []Triple{
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o")),
+		NewTriple(NewBlank("b0"), NewIRI("http://x/p"), NewLiteral("plain")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLangLiteral("héllo wörld", "de-AT")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewTypedLiteral("3.14", XSDDouble)),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("tricky \"quotes\"\nand\tlines\\")),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, tr := range triples {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(triples) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(triples))
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("round trip lost triples: %d vs %d", len(got), len(triples))
+	}
+	for i := range triples {
+		if got[i] != triples[i] {
+			t.Errorf("triple %d: got %+v want %+v", i, got[i], triples[i])
+		}
+	}
+}
+
+// Property: any literal value written is read back identically.
+func TestRoundTripPropertyLiterals(t *testing.T) {
+	f := func(val string) bool {
+		if !isValidUTF8ForTest(val) {
+			return true
+		}
+		tr := NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral(val))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(tr); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Read()
+		return err == nil && got == tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package snb implements a scaled-down LDBC Social Network Benchmark data
+// generator in the spirit of S3G2 (the "Scalable Structure-Correlated
+// Social Graph Generator" the LDBC benchmark builds on), plus the
+// interactive query templates the paper measures (Q2 "newest posts of
+// friends", Q3 "friends within two steps who visited countries X and Y").
+//
+// The generator reproduces the three real-world properties the paper's
+// examples depend on:
+//
+//   - correlation between attribute dimensions: first names are drawn from
+//     country-specific pools ("if the %name is Li, and the %country is
+//     China, the query is an unselective join"),
+//   - heavy-tailed friendship degrees with homophily (friends are biased
+//     toward the same country), which spreads Q2's runtime (E2),
+//   - correlated country visits (people visit their own region and a few
+//     globally popular destinations), so some country pairs are co-visited
+//     by many people and most pairs by almost none (E4).
+package snb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// NS is the vocabulary namespace.
+const NS = "http://snb.example.org/"
+
+// Vocabulary IRIs.
+var (
+	ClassPerson    = rdf.NewIRI(NS + "Person")
+	PredType       = rdf.NewIRI(rdf.RDFType)
+	PredFirstName  = rdf.NewIRI(NS + "firstName")
+	PredLivesIn    = rdf.NewIRI(NS + "livesIn")
+	PredKnows      = rdf.NewIRI(NS + "knows")
+	PredHasCreator = rdf.NewIRI(NS + "hasCreator")
+	PredCreated    = rdf.NewIRI(NS + "creationDate")
+	PredHasBeenTo  = rdf.NewIRI(NS + "hasBeenTo")
+	PredContent    = rdf.NewIRI(NS + "content")
+	PredName       = rdf.NewIRI(NS + "name")
+)
+
+// Config sizes the generated network.
+type Config struct {
+	Persons         int     // number of persons
+	Countries       int     // number of countries
+	NamesPerCountry int     // characteristic first names per country
+	GlobalNames     int     // shared first-name pool
+	MeanDegree      int     // mean number of friends
+	DegreeZipfS     float64 // Zipf exponent for the degree distribution (>1)
+	Homophily       float64 // probability a friend comes from the same country
+	PostsPerFriend  int     // posts per person per friend (posting activity tracks degree)
+	VisitsPerPerson int     // extra country visits beyond the home country
+	Seed            int64
+}
+
+// DefaultConfig approximates (at reduced scale) the SNB dataset of the
+// paper: ~1M triples with Persons≈20000.
+func DefaultConfig() Config {
+	return Config{
+		Persons:         20000,
+		Countries:       50,
+		NamesPerCountry: 20,
+		GlobalNames:     30,
+		MeanDegree:      12,
+		DegreeZipfS:     2.0,
+		Homophily:       0.7,
+		PostsPerFriend:  2,
+		VisitsPerPerson: 3,
+		Seed:            1,
+	}
+}
+
+// TestConfig is small enough for unit tests while keeping degree skew and
+// correlations.
+func TestConfig() Config {
+	return Config{
+		Persons:         1500,
+		Countries:       12,
+		NamesPerCountry: 8,
+		GlobalNames:     10,
+		MeanDegree:      8,
+		DegreeZipfS:     2.0,
+		Homophily:       0.7,
+		PostsPerFriend:  2,
+		VisitsPerPerson: 3,
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Persons < 2:
+		return fmt.Errorf("snb: Persons must be >= 2")
+	case c.Countries < 2:
+		return fmt.Errorf("snb: Countries must be >= 2")
+	case c.NamesPerCountry < 1 || c.GlobalNames < 1:
+		return fmt.Errorf("snb: name pools must be >= 1")
+	case c.MeanDegree < 1:
+		return fmt.Errorf("snb: MeanDegree must be >= 1")
+	case c.DegreeZipfS <= 1:
+		return fmt.Errorf("snb: DegreeZipfS must be > 1")
+	case c.Homophily < 0 || c.Homophily > 1:
+		return fmt.Errorf("snb: Homophily must be in [0,1]")
+	case c.PostsPerFriend < 0 || c.VisitsPerPerson < 0:
+		return fmt.Errorf("snb: posts/visits must be >= 0")
+	}
+	return nil
+}
+
+// Dataset records generation metadata for experiments and tests.
+type Dataset struct {
+	Config      Config
+	CountryOf   []int   // person -> country index
+	Degree      []int   // person -> friend count (undirected degree)
+	Populations []int   // country -> inhabitant count
+	Visitors    [][]int // country -> sorted person ids who visited it
+}
+
+// PersonIRI returns the IRI of person i.
+func PersonIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sperson%d", NS, i)) }
+
+// CountryIRI returns the IRI of country i.
+func CountryIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%scountry%d", NS, i)) }
+
+// PostIRI returns the IRI of post (person, seq).
+func PostIRI(person, seq int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%spost%d_%d", NS, person, seq))
+}
+
+// countryName gives human-flavoured country labels; index 0 is the most
+// populous ("China" in the paper's running example).
+func countryName(i int) string {
+	names := []string{"China", "India", "USA", "Indonesia", "Brazil", "Russia",
+		"Japan", "Mexico", "Germany", "Turkey", "France", "UK"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("Country%d", i)
+}
+
+// firstName returns the j-th characteristic name of country c; index 0 is
+// the country's dominant name (e.g. "Li" for China).
+func firstName(c, j int) string {
+	if c == 0 && j == 0 {
+		return "Li"
+	}
+	if c == 2 && j == 0 {
+		return "John"
+	}
+	return fmt.Sprintf("Name_c%d_%d", c, j)
+}
+
+func globalName(j int) string { return fmt.Sprintf("Global_%d", j) }
+
+// Generate produces the dataset, emitting every triple to emit.
+// Deterministic per config.
+func Generate(cfg Config, emit func(rdf.Triple) error) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		Config:      cfg,
+		CountryOf:   make([]int, cfg.Persons),
+		Degree:      make([]int, cfg.Persons),
+		Populations: make([]int, cfg.Countries),
+		Visitors:    make([][]int, cfg.Countries),
+	}
+
+	// Countries carry human-readable names ("China" is country 0, matching
+	// the paper's running example).
+	for c := 0; c < cfg.Countries; c++ {
+		if err := emit(rdf.NewTriple(CountryIRI(c), PredName, rdf.NewLiteral(countryName(c)))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Country of residence: Zipf-distributed population.
+	countryWeights := zipfWeights(cfg.Countries, 1.0)
+	for p := 0; p < cfg.Persons; p++ {
+		c := sampleWeighted(rng, countryWeights)
+		ds.CountryOf[p] = c
+		ds.Populations[c]++
+	}
+	// Persons grouped by country for homophilous friend picking.
+	byCountry := make([][]int, cfg.Countries)
+	for p, c := range ds.CountryOf {
+		byCountry[c] = append(byCountry[c], p)
+	}
+
+	// Emit person attributes: type, livesIn, correlated firstName.
+	nameWeights := zipfWeights(cfg.NamesPerCountry, 1.2)
+	globalWeights := zipfWeights(cfg.GlobalNames, 1.2)
+	for p := 0; p < cfg.Persons; p++ {
+		person := PersonIRI(p)
+		c := ds.CountryOf[p]
+		if err := emit(rdf.NewTriple(person, PredType, ClassPerson)); err != nil {
+			return nil, err
+		}
+		if err := emit(rdf.NewTriple(person, PredLivesIn, CountryIRI(c))); err != nil {
+			return nil, err
+		}
+		var name string
+		if rng.Float64() < 0.75 {
+			name = firstName(c, sampleWeighted(rng, nameWeights))
+		} else {
+			name = globalName(sampleWeighted(rng, globalWeights))
+		}
+		if err := emit(rdf.NewTriple(person, PredFirstName, rdf.NewLiteral(name))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Friendship graph: heavy-tailed target degrees with homophily; edges
+	// are symmetric and emitted in both directions.
+	zipf := rand.NewZipf(rng, cfg.DegreeZipfS, 1, uint64(cfg.Persons/4))
+	target := make([]int, cfg.Persons)
+	for p := range target {
+		// Base degree plus a heavy-tailed bonus; hubs emerge naturally.
+		target[p] = 1 + rng.Intn(cfg.MeanDegree) + int(zipf.Uint64())
+	}
+	type edge struct{ a, b int }
+	edges := map[edge]bool{}
+	addEdge := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if edges[edge{a, b}] {
+			return false
+		}
+		edges[edge{a, b}] = true
+		ds.Degree[a]++
+		ds.Degree[b]++
+		return true
+	}
+	for p := 0; p < cfg.Persons; p++ {
+		for ds.Degree[p] < target[p] {
+			var q int
+			if rng.Float64() < cfg.Homophily {
+				pool := byCountry[ds.CountryOf[p]]
+				if len(pool) < 2 {
+					q = rng.Intn(cfg.Persons)
+				} else {
+					q = pool[rng.Intn(len(pool))]
+				}
+			} else {
+				q = rng.Intn(cfg.Persons)
+			}
+			if !addEdge(p, q) {
+				// Collision or self-loop: one blind retry then give up this
+				// slot to guarantee termination.
+				q = rng.Intn(cfg.Persons)
+				if !addEdge(p, q) {
+					break
+				}
+			}
+		}
+	}
+	for e := range edges {
+		if err := emit(rdf.NewTriple(PersonIRI(e.a), PredKnows, PersonIRI(e.b))); err != nil {
+			return nil, err
+		}
+		if err := emit(rdf.NewTriple(PersonIRI(e.b), PredKnows, PersonIRI(e.a))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Posts: activity proportional to degree; ISO dates spread over 2012-13.
+	for p := 0; p < cfg.Persons; p++ {
+		n := ds.Degree[p] * cfg.PostsPerFriend / 2
+		if n < 1 {
+			n = 1
+		}
+		for s := 0; s < n; s++ {
+			post := PostIRI(p, s)
+			if err := emit(rdf.NewTriple(post, PredHasCreator, PersonIRI(p))); err != nil {
+				return nil, err
+			}
+			date := randomDate(rng)
+			if err := emit(rdf.NewTriple(post, PredCreated, rdf.NewTypedLiteral(date, rdf.XSDDateTime))); err != nil {
+				return nil, err
+			}
+			if err := emit(rdf.NewTriple(post, PredContent, rdf.NewLiteral(fmt.Sprintf("post %d by %d", s, p)))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Country visits: home country always; then a mix of neighbour
+	// countries (regional travel) and Zipf-popular global destinations.
+	visitSeen := make([]map[int]bool, cfg.Persons)
+	visit := func(p, c int) error {
+		if visitSeen[p] == nil {
+			visitSeen[p] = map[int]bool{}
+		}
+		if visitSeen[p][c] {
+			return nil
+		}
+		visitSeen[p][c] = true
+		ds.Visitors[c] = append(ds.Visitors[c], p)
+		return emit(rdf.NewTriple(PersonIRI(p), PredHasBeenTo, CountryIRI(c)))
+	}
+	destWeights := zipfWeights(cfg.Countries, 1.5)
+	for p := 0; p < cfg.Persons; p++ {
+		home := ds.CountryOf[p]
+		if err := visit(p, home); err != nil {
+			return nil, err
+		}
+		for v := 0; v < cfg.VisitsPerPerson; v++ {
+			var c int
+			if rng.Float64() < 0.5 {
+				// Regional: a neighbour of the home country.
+				if rng.Intn(2) == 0 {
+					c = (home + 1) % cfg.Countries
+				} else {
+					c = (home - 1 + cfg.Countries) % cfg.Countries
+				}
+			} else {
+				// Global destination popularity.
+				c = sampleWeighted(rng, destWeights)
+			}
+			if err := visit(p, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// randomDate yields an ISO xsd:dateTime lexical form in 2012–2013; ISO
+// strings order chronologically under lexical comparison.
+func randomDate(rng *rand.Rand) string {
+	year := 2012 + rng.Intn(2)
+	month := 1 + rng.Intn(12)
+	day := 1 + rng.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02dT%02d:%02d:%02dZ",
+		year, month, day, rng.Intn(24), rng.Intn(60), rng.Intn(60))
+}
+
+// zipfWeights returns normalized weights w_i ∝ 1/(i+1)^s.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// sampleWeighted draws an index with the given normalized weights.
+func sampleWeighted(rng *rand.Rand, w []float64) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		if x < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// BuildStore generates the dataset directly into a triple store.
+func BuildStore(cfg Config) (*store.Store, *Dataset, error) {
+	b := store.NewBuilder()
+	ds, err := Generate(cfg, b.Add)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Build(), ds, nil
+}

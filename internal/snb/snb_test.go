@@ -1,0 +1,282 @@
+package snb
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TestConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Persons: 10, Countries: 1},
+		{Persons: 10, Countries: 5, NamesPerCountry: 1, GlobalNames: 1, MeanDegree: 2, DegreeZipfS: 0.5},
+		{Persons: 10, Countries: 5, NamesPerCountry: 1, GlobalNames: 1, MeanDegree: 2, DegreeZipfS: 2, Homophily: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	count := func() (int, *Dataset) {
+		n := 0
+		ds, err := Generate(cfg, func(rdf.Triple) error { n++; return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, ds
+	}
+	n1, ds1 := count()
+	n2, ds2 := count()
+	if n1 != n2 {
+		t.Fatalf("triple counts differ: %d vs %d", n1, n2)
+	}
+	for i := range ds1.Degree {
+		if ds1.Degree[i] != ds2.Degree[i] {
+			t.Fatalf("degrees differ at person %d", i)
+		}
+	}
+}
+
+func TestCountryPopulationSkew(t *testing.T) {
+	_, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Country 0 ("China") must be the most populous by construction.
+	for c := 1; c < len(ds.Populations); c++ {
+		if ds.Populations[c] > ds.Populations[0] {
+			t.Fatalf("country %d (%d) more populous than country 0 (%d)",
+				c, ds.Populations[c], ds.Populations[0])
+		}
+	}
+}
+
+func TestNameCountryCorrelation(t *testing.T) {
+	st, _, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Dict()
+	lookupCount := func(name string, country int) int {
+		nid, ok1 := d.Lookup(rdf.NewLiteral(name))
+		cid, ok2 := d.Lookup(CountryIRI(country))
+		fn, _ := d.Lookup(PredFirstName)
+		li, _ := d.Lookup(PredLivesIn)
+		if !ok1 || !ok2 {
+			return 0
+		}
+		// Count persons with both name and country.
+		named, _ := st.Match(store.Pattern{P: fn, O: nid})
+		n := 0
+		for _, tr := range named {
+			if st.Count(store.Pattern{S: tr.S, P: li, O: cid}) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	liChina := lookupCount("Li", 0)
+	johnChina := lookupCount("John", 0)
+	if liChina == 0 {
+		t.Fatal("no Li in China — correlation missing")
+	}
+	if johnChina >= liChina {
+		t.Fatalf("John in China (%d) >= Li in China (%d) — correlation inverted", johnChina, liChina)
+	}
+}
+
+func TestDegreeHeavyTail(t *testing.T) {
+	_, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]float64, len(ds.Degree))
+	for i, d := range ds.Degree {
+		degs[i] = float64(d)
+	}
+	s := stats.Summarize(degs)
+	if s.Max < 3*s.Median {
+		t.Fatalf("degree distribution not heavy-tailed: max %v median %v", s.Max, s.Median)
+	}
+	if s.Min < 1 {
+		t.Fatalf("isolated person: min degree %v", s.Min)
+	}
+}
+
+func TestKnowsSymmetric(t *testing.T) {
+	st, _, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knows, _ := st.Dict().Lookup(PredKnows)
+	all, _ := st.Match(store.Pattern{P: knows})
+	for _, tr := range all {
+		if st.Count(store.Pattern{S: tr.O, P: knows, O: tr.S}) != 1 {
+			t.Fatalf("knows edge %v not symmetric", tr)
+		}
+	}
+}
+
+func TestVisitCorrelation(t *testing.T) {
+	_, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Co-visits of (0,1) (popular + neighbour) must dwarf a far rare pair.
+	co := func(a, b int) int {
+		seen := map[int]bool{}
+		for _, p := range ds.Visitors[a] {
+			seen[p] = true
+		}
+		n := 0
+		for _, p := range ds.Visitors[b] {
+			if seen[p] {
+				n++
+			}
+		}
+		return n
+	}
+	popular := co(0, 1)
+	nc := ds.Config.Countries
+	rare := co(nc/2, nc-2)
+	if popular == 0 {
+		t.Fatal("no co-visitors of countries 0 and 1")
+	}
+	if rare >= popular {
+		t.Fatalf("rare pair co-visits (%d) >= popular pair (%d)", rare, popular)
+	}
+}
+
+func TestQ2Runs(t *testing.T) {
+	st, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the highest-degree person for a guaranteed non-empty result.
+	best := 0
+	for p, d := range ds.Degree {
+		if d > ds.Degree[best] {
+			best = p
+		}
+	}
+	bound, err := Q2().Bind(sparql.Binding{"Person": PersonIRI(best)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := exec.Query(bound, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q2 empty for the top hub")
+	}
+	if len(res.Rows) > 20 {
+		t.Fatalf("LIMIT 20 violated: %d rows", len(res.Rows))
+	}
+	// Dates must be descending.
+	d := st.Dict()
+	for i := 1; i < len(res.Rows); i++ {
+		prev := d.Decode(res.Rows[i-1][1]).Value
+		cur := d.Decode(res.Rows[i][1]).Value
+		if cur > prev {
+			t.Fatalf("dates not descending: %s after %s", cur, prev)
+		}
+	}
+}
+
+func TestQ3PlanDependsOnCountryPair(t *testing.T) {
+	st, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for p, d := range ds.Degree {
+		if d > ds.Degree[best] {
+			best = p
+		}
+	}
+	person := PersonIRI(best)
+	nc := ds.Config.Countries
+	bindPopular := sparql.Binding{"Person": person, "CountryX": CountryIRI(0), "CountryY": CountryIRI(1)}
+	bindRare := sparql.Binding{"Person": person, "CountryX": CountryIRI(nc / 2), "CountryY": CountryIRI(nc - 2)}
+	qp, err := Q3().Bind(bindPopular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := Q3().Bind(bindRare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, planPop, err := exec.Query(qp, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, planRare, err := exec.Query(qr, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E4: the two bindings should give different optimal plans (this is a
+	// property of the data shape; if it ever fails the generator has lost
+	// its co-visit skew).
+	if planPop.Signature == planRare.Signature {
+		t.Logf("popular plan:\n%s", planPop)
+		t.Logf("rare plan:\n%s", planRare)
+		t.Fatal("popular and rare country pairs produced identical optimal plans")
+	}
+}
+
+func TestQ1IntroExample(t *testing.T) {
+	st, _, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Li × China: unselective. John × China: selective (possibly empty).
+	qLi, err := Q1().Bind(sparql.Binding{"Name": rdf.NewLiteral("Li"), "Country": CountryIRI(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLi, _, err := exec.Query(qLi, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qJohn, err := Q1().Bind(sparql.Binding{"Name": rdf.NewLiteral("John"), "Country": CountryIRI(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJohn, _, err := exec.Query(qJohn, st, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resJohn.Rows) >= len(resLi.Rows) {
+		t.Fatalf("John@China (%d) >= Li@China (%d): correlation broken",
+			len(resJohn.Rows), len(resLi.Rows))
+	}
+}
+
+func TestVisitorsSorted(t *testing.T) {
+	_, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, vs := range ds.Visitors {
+		if !sort.IntsAreSorted(vs) {
+			t.Fatalf("visitors of country %d not sorted", c)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package sparql implements the SPARQL subset needed by the paper's
+// workloads: SELECT [DISTINCT] over basic graph patterns with FILTER
+// comparisons, ORDER BY and LIMIT, plus PREFIX declarations. Query texts
+// may contain substitution parameters written %name — exactly the template
+// notation of the paper's introduction:
+//
+//	select * where {
+//	  ?person sn:firstName %name .
+//	  ?person sn:livesIn %country .
+//	}
+//
+// A parsed query with parameters is a Template; binding all parameters
+// yields an executable Query.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Var is a SPARQL variable name, without the leading '?'.
+type Var string
+
+// Param is a substitution-parameter name, without the leading '%'.
+type Param string
+
+// NodeKind discriminates pattern node kinds.
+type NodeKind uint8
+
+const (
+	// NodeTerm is a constant RDF term.
+	NodeTerm NodeKind = iota
+	// NodeVar is a query variable.
+	NodeVar
+	// NodeParam is an unbound substitution parameter.
+	NodeParam
+)
+
+// Node is one position of a triple pattern: a constant term, a variable or
+// a parameter.
+type Node struct {
+	Kind  NodeKind
+	Term  rdf.Term
+	Var   Var
+	Param Param
+}
+
+// TermNode wraps a constant term.
+func TermNode(t rdf.Term) Node { return Node{Kind: NodeTerm, Term: t} }
+
+// VarNode wraps a variable.
+func VarNode(v Var) Node { return Node{Kind: NodeVar, Var: v} }
+
+// ParamNode wraps a parameter.
+func ParamNode(p Param) Node { return Node{Kind: NodeParam, Param: p} }
+
+// String renders the node in SPARQL-ish syntax.
+func (n Node) String() string {
+	switch n.Kind {
+	case NodeVar:
+		return "?" + string(n.Var)
+	case NodeParam:
+		return "%" + string(n.Param)
+	default:
+		return n.Term.String()
+	}
+}
+
+// TriplePattern is one BGP triple pattern.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+// String renders the pattern.
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// Vars returns the distinct variables of the pattern, in S,P,O order.
+func (tp TriplePattern) Vars() []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.Kind == NodeVar && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// CompareOp is a FILTER comparison operator.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Filter is a single comparison; a FILTER(a && b) clause parses into
+// multiple Filters (conjunctive semantics).
+type Filter struct {
+	Left  Node
+	Op    CompareOp
+	Right Node
+}
+
+// String renders the filter.
+func (f Filter) String() string {
+	return fmt.Sprintf("FILTER(%s %s %s)", f.Left, f.Op, f.Right)
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  Var
+	Desc bool
+}
+
+// Query is a parsed SELECT query. A Query whose Params() is non-empty is a
+// template and cannot be executed until bound.
+type Query struct {
+	Distinct bool
+	Select   []Var // empty means SELECT *
+	Where    []TriplePattern
+	Filters  []Filter
+	OrderBy  []OrderKey
+	Limit    int // 0 means no limit
+}
+
+// Vars returns all distinct variables mentioned in the WHERE clause.
+func (q *Query) Vars() []Var {
+	seen := map[Var]bool{}
+	var out []Var
+	add := func(n Node) {
+		if n.Kind == NodeVar && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	for _, tp := range q.Where {
+		add(tp.S)
+		add(tp.P)
+		add(tp.O)
+	}
+	for _, f := range q.Filters {
+		add(f.Left)
+		add(f.Right)
+	}
+	return out
+}
+
+// Params returns the distinct parameter names in the query, sorted.
+func (q *Query) Params() []Param {
+	seen := map[Param]bool{}
+	add := func(n Node) {
+		if n.Kind == NodeParam {
+			seen[n.Param] = true
+		}
+	}
+	for _, tp := range q.Where {
+		add(tp.S)
+		add(tp.P)
+		add(tp.O)
+	}
+	for _, f := range q.Filters {
+		add(f.Left)
+		add(f.Right)
+	}
+	out := make([]Param, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Binding maps parameter names to concrete terms.
+type Binding map[Param]rdf.Term
+
+// Bind returns a copy of q with every parameter replaced by its binding.
+// It fails if any parameter is missing from b; extra bindings are ignored.
+func (q *Query) Bind(b Binding) (*Query, error) {
+	subst := func(n Node) (Node, error) {
+		if n.Kind != NodeParam {
+			return n, nil
+		}
+		t, ok := b[n.Param]
+		if !ok {
+			return Node{}, fmt.Errorf("sparql: unbound parameter %%%s", n.Param)
+		}
+		return TermNode(t), nil
+	}
+	out := &Query{
+		Distinct: q.Distinct,
+		Select:   append([]Var(nil), q.Select...),
+		OrderBy:  append([]OrderKey(nil), q.OrderBy...),
+		Limit:    q.Limit,
+	}
+	for _, tp := range q.Where {
+		s, err := subst(tp.S)
+		if err != nil {
+			return nil, err
+		}
+		p, err := subst(tp.P)
+		if err != nil {
+			return nil, err
+		}
+		o, err := subst(tp.O)
+		if err != nil {
+			return nil, err
+		}
+		out.Where = append(out.Where, TriplePattern{S: s, P: p, O: o})
+	}
+	for _, f := range q.Filters {
+		l, err := subst(f.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := subst(f.Right)
+		if err != nil {
+			return nil, err
+		}
+		out.Filters = append(out.Filters, Filter{Left: l, Op: f.Op, Right: r})
+	}
+	return out, nil
+}
+
+// String renders the query in parseable SPARQL-subset syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + string(v))
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for _, tp := range q.Where {
+		b.WriteString("  " + tp.String() + "\n")
+	}
+	for _, f := range q.Filters {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	b.WriteString("}")
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC(?" + string(k.Var) + ")")
+			} else {
+				b.WriteString(" ?" + string(k.Var))
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package sparql
+
+import "testing"
+
+// FuzzParse checks the query parser on arbitrary input: no panics, and
+// every successfully parsed query must render (String) to text that parses
+// again to the same rendering (fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?s ?p ?o . }`,
+		`PREFIX ex: <http://x/> SELECT DISTINCT ?s WHERE { ?s a ex:T ; ex:p "v"@en, 42 . } ORDER BY DESC(?s) LIMIT 3`,
+		`select * where { ?person <http://sn/firstName> %name . FILTER(?person != %name && ?x >= 3.5) }`,
+		`SELECT ?x WHERE { $x <http://p> "esc\"d\n" . }`,
+		`SELECT * WHERE {`,
+		`WHERE { ?s ?p ?o . }`,
+		`SELECT * WHERE { ?s ?p ?o . } LIMIT -1`,
+		"# only a comment",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of valid query does not re-parse: %v\nsource: %q\nrendered: %q", err, src, rendered)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("String not a fixpoint:\nfirst:  %q\nsecond: %q", rendered, q2.String())
+		}
+	})
+}

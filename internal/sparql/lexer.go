@@ -1,0 +1,317 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF       tokenKind = iota
+	tokIdent               // bare identifier / keyword
+	tokIRI                 // <...>
+	tokPName               // prefix:local
+	tokVar                 // ?name
+	tokParam               // %name
+	tokString              // "..." with optional @lang or ^^<iri> suffix handled by parser
+	tokNumber              // integer or decimal
+	tokLBrace              // {
+	tokRBrace              // }
+	tokLParen              // (
+	tokRParen              // )
+	tokDot                 // .
+	tokSemicolon           // ;
+	tokComma               // ,
+	tokOp                  // = != < <= > >=
+	tokAnd                 // &&
+	tokStar                // *
+)
+
+type token struct {
+	kind tokenKind
+	text string // raw content (IRI without <>, var without ?, string unescaped lexical form)
+	lang string // for tokString
+	dt   string // for tokString: datatype IRI
+	pos  int    // byte offset, for errors
+}
+
+type lexer struct {
+	src string
+	i   int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	line := 1 + strings.Count(l.src[:pos], "\n")
+	return fmt.Errorf("sparql: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.i++
+			continue
+		}
+		if c == '#' {
+			for l.i < len(l.src) && l.src[l.i] != '\n' {
+				l.i++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: l.i}, nil
+	}
+	start := l.i
+	c := l.src[l.i]
+	switch {
+	case c == '{':
+		l.i++
+		return token{kind: tokLBrace, pos: start}, nil
+	case c == '}':
+		l.i++
+		return token{kind: tokRBrace, pos: start}, nil
+	case c == '(':
+		l.i++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.i++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ';':
+		l.i++
+		return token{kind: tokSemicolon, pos: start}, nil
+	case c == ',':
+		l.i++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '.':
+		// Distinguish statement dot from a decimal number starting with '.'.
+		if l.i+1 < len(l.src) && isDigit(l.src[l.i+1]) {
+			return l.number()
+		}
+		l.i++
+		return token{kind: tokDot, pos: start}, nil
+	case c == '<':
+		return l.iriRef()
+	case c == '?' || c == '$':
+		return l.variable()
+	case c == '%':
+		return l.param()
+	case c == '"':
+		return l.stringLit()
+	case c == '*':
+		l.i++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '=':
+		l.i++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if strings.HasPrefix(l.src[l.i:], "!=") {
+			l.i += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '&':
+		if strings.HasPrefix(l.src[l.i:], "&&") {
+			l.i += 2
+			return token{kind: tokAnd, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '&'")
+	case c == '>':
+		if strings.HasPrefix(l.src[l.i:], ">=") {
+			l.i += 2
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		l.i++
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case isDigit(c) || c == '-' || c == '+':
+		return l.number()
+	default:
+		if isIdentStart(rune(c)) {
+			return l.identOrPName()
+		}
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+// peekLt disambiguates '<' between IRIREF and less-than: an IRI contains no
+// whitespace before '>', and a comparison's right operand starts with a
+// space or operand character.
+func (l *lexer) iriRef() (token, error) {
+	start := l.i
+	j := l.i + 1
+	for j < len(l.src) {
+		c := l.src[j]
+		if c == '>' {
+			raw := l.src[l.i+1 : j]
+			l.i = j + 1
+			decoded, err := rdf.Unescape(raw)
+			if err != nil {
+				return token{}, l.errf(start, "bad IRI escape: %v", err)
+			}
+			return token{kind: tokIRI, text: decoded, pos: start}, nil
+		}
+		if c == ' ' || c == '\n' || c == '\t' || c == '\r' || c == '"' || c == '{' {
+			break
+		}
+		j++
+	}
+	// Not an IRI: treat as comparison operator.
+	if strings.HasPrefix(l.src[l.i:], "<=") {
+		l.i += 2
+		return token{kind: tokOp, text: "<=", pos: start}, nil
+	}
+	l.i++
+	return token{kind: tokOp, text: "<", pos: start}, nil
+}
+
+func (l *lexer) variable() (token, error) {
+	start := l.i
+	l.i++
+	s := l.i
+	for l.i < len(l.src) && isIdentChar(rune(l.src[l.i])) {
+		l.i++
+	}
+	if l.i == s {
+		return token{}, l.errf(start, "empty variable name")
+	}
+	return token{kind: tokVar, text: l.src[s:l.i], pos: start}, nil
+}
+
+func (l *lexer) param() (token, error) {
+	start := l.i
+	l.i++
+	s := l.i
+	for l.i < len(l.src) && isIdentChar(rune(l.src[l.i])) {
+		l.i++
+	}
+	if l.i == s {
+		return token{}, l.errf(start, "empty parameter name")
+	}
+	return token{kind: tokParam, text: l.src[s:l.i], pos: start}, nil
+}
+
+func (l *lexer) stringLit() (token, error) {
+	start := l.i
+	l.i++ // opening quote
+	var b strings.Builder
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		switch c {
+		case '\\':
+			if l.i+1 >= len(l.src) {
+				return token{}, l.errf(start, "unterminated escape")
+			}
+			switch e := l.src[l.i+1]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return token{}, l.errf(start, "unsupported escape \\%c", e)
+			}
+			l.i += 2
+		case '"':
+			l.i++
+			tok := token{kind: tokString, text: b.String(), pos: start}
+			// Optional @lang or ^^<iri>.
+			if l.i < len(l.src) && l.src[l.i] == '@' {
+				l.i++
+				s := l.i
+				for l.i < len(l.src) && (isIdentChar(rune(l.src[l.i])) || l.src[l.i] == '-') {
+					l.i++
+				}
+				if l.i == s {
+					return token{}, l.errf(start, "empty language tag")
+				}
+				tok.lang = l.src[s:l.i]
+			} else if strings.HasPrefix(l.src[l.i:], "^^<") {
+				l.i += 2
+				it, err := l.iriRef()
+				if err != nil {
+					return token{}, err
+				}
+				if it.kind != tokIRI {
+					return token{}, l.errf(start, "expected datatype IRI")
+				}
+				tok.dt = it.text
+			}
+			return tok, nil
+		default:
+			b.WriteByte(c)
+			l.i++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.i
+	if l.src[l.i] == '-' || l.src[l.i] == '+' {
+		l.i++
+	}
+	seenDigit, seenDot := false, false
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if isDigit(c) {
+			seenDigit = true
+			l.i++
+			continue
+		}
+		if c == '.' && !seenDot && l.i+1 < len(l.src) && isDigit(l.src[l.i+1]) {
+			seenDot = true
+			l.i++
+			continue
+		}
+		break
+	}
+	if !seenDigit {
+		return token{}, l.errf(start, "malformed number")
+	}
+	return token{kind: tokNumber, text: l.src[start:l.i], pos: start}, nil
+}
+
+func (l *lexer) identOrPName() (token, error) {
+	start := l.i
+	for l.i < len(l.src) && isIdentChar(rune(l.src[l.i])) {
+		l.i++
+	}
+	word := l.src[start:l.i]
+	// prefix:local form (prefixed name)?
+	if l.i < len(l.src) && l.src[l.i] == ':' {
+		l.i++
+		ls := l.i
+		for l.i < len(l.src) && (isIdentChar(rune(l.src[l.i])) || l.src[l.i] == '-') {
+			l.i++
+		}
+		return token{kind: tokPName, text: word + ":" + l.src[ls:l.i], pos: start}, nil
+	}
+	return token{kind: tokIdent, text: word, pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+var _ = utf8.RuneLen // keep utf8 imported if identChar changes

@@ -1,0 +1,401 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a SPARQL-subset query text, possibly containing %param
+// placeholders. The grammar:
+//
+//	query    := prefix* "SELECT" "DISTINCT"? ("*" | var+) "WHERE"? "{" block "}" order? limit?
+//	prefix   := "PREFIX" PNAME IRIREF
+//	block    := (triples | filter)*
+//	triples  := node predobj (";" predobj)* "."
+//	predobj  := node node ("," node)*
+//	filter   := "FILTER" "(" cmp ("&&" cmp)* ")"
+//	cmp      := node OP node
+//	order    := "ORDER" "BY" key+
+//	key      := var | "ASC" "(" var ")" | "DESC" "(" var ")"
+//	limit    := "LIMIT" integer
+//
+// where node is an IRI, prefixed name, literal, number, variable or %param.
+// The 'a' keyword abbreviates rdf:type as in Turtle/SPARQL.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing content after query")
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for static query
+// definitions in generators and tests.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex      lexer
+	tok      token
+	prefixes map[string]string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %q", kw)
+	}
+	return p.advance()
+}
+
+func (p *parser) query() (*Query, error) {
+	for p.isKeyword("PREFIX") {
+		if err := p.prefixDecl(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.isKeyword("DISTINCT") {
+		q.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	// Projection: '*' is lexed as operator-ish? '*' isn't lexed. Accept
+	// either variables or the ident '*'. We lex '*' nowhere, so check raw.
+	if err := p.projection(q); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokLBrace {
+		return nil, p.errf("expected '{'")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.block(q); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRBrace {
+		return nil, p.errf("expected '}'")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.orderBy(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.errf("expected integer after LIMIT")
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", p.tok.text)
+		}
+		q.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if len(q.Where) == 0 {
+		return nil, p.errf("empty WHERE clause")
+	}
+	return q, nil
+}
+
+func (p *parser) prefixDecl() error {
+	if err := p.advance(); err != nil { // consume PREFIX
+		return err
+	}
+	if p.tok.kind != tokPName || !strings.HasSuffix(p.tok.text, ":") && !strings.Contains(p.tok.text, ":") {
+		return p.errf("expected prefix name")
+	}
+	name := strings.SplitN(p.tok.text, ":", 2)[0]
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokIRI {
+		return p.errf("expected IRI in PREFIX declaration")
+	}
+	p.prefixes[name] = p.tok.text
+	return p.advance()
+}
+
+func (p *parser) projection(q *Query) error {
+	if p.tok.kind == tokStar {
+		return p.advance()
+	}
+	if p.tok.kind != tokVar {
+		return p.errf("expected '*' or variables in SELECT")
+	}
+	for p.tok.kind == tokVar {
+		q.Select = append(q.Select, Var(p.tok.text))
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) block(q *Query) error {
+	for {
+		switch {
+		case p.tok.kind == tokRBrace:
+			return nil
+		case p.isKeyword("FILTER"):
+			if err := p.filter(q); err != nil {
+				return err
+			}
+		case p.tok.kind == tokEOF:
+			return p.errf("unterminated WHERE block")
+		default:
+			if err := p.triples(q); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) triples(q *Query) error {
+	subj, err := p.node()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.node()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.node()
+			if err != nil {
+				return err
+			}
+			q.Where = append(q.Where, TriplePattern{S: subj, P: pred, O: obj})
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind != tokSemicolon {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		// Allow a dangling ';' before '.'
+		if p.tok.kind == tokDot {
+			break
+		}
+	}
+	if p.tok.kind != tokDot {
+		return p.errf("expected '.' after triple pattern")
+	}
+	return p.advance()
+}
+
+func (p *parser) filter(q *Query) error {
+	if err := p.advance(); err != nil { // consume FILTER
+		return err
+	}
+	if p.tok.kind != tokLParen {
+		return p.errf("expected '(' after FILTER")
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for {
+		left, err := p.node()
+		if err != nil {
+			return err
+		}
+		if p.tok.kind != tokOp {
+			return p.errf("expected comparison operator in FILTER")
+		}
+		op, err := parseOp(p.tok.text)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		right, err := p.node()
+		if err != nil {
+			return err
+		}
+		q.Filters = append(q.Filters, Filter{Left: left, Op: op, Right: right})
+		if p.tok.kind != tokAnd {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if p.tok.kind != tokRParen {
+		return p.errf("expected ')' to close FILTER")
+	}
+	return p.advance()
+}
+
+func parseOp(s string) (CompareOp, error) {
+	switch s {
+	case "=":
+		return OpEq, nil
+	case "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", s)
+	}
+}
+
+func (p *parser) orderBy(q *Query) error {
+	if err := p.advance(); err != nil { // ORDER
+		return err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.tok.kind == tokVar:
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.tok.text)})
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.isKeyword("ASC"), p.isKeyword("DESC"):
+			desc := strings.EqualFold(p.tok.text, "DESC")
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokLParen {
+				return p.errf("expected '(' after ASC/DESC")
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokVar {
+				return p.errf("expected variable in ASC/DESC")
+			}
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.tok.text), Desc: desc})
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokRParen {
+				return p.errf("expected ')'")
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			if len(q.OrderBy) == 0 {
+				return p.errf("expected sort key after ORDER BY")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) node() (Node, error) {
+	defer func() {}()
+	switch p.tok.kind {
+	case tokVar:
+		n := VarNode(Var(p.tok.text))
+		return n, p.advance()
+	case tokParam:
+		n := ParamNode(Param(p.tok.text))
+		return n, p.advance()
+	case tokIRI:
+		n := TermNode(rdf.NewIRI(p.tok.text))
+		return n, p.advance()
+	case tokPName:
+		parts := strings.SplitN(p.tok.text, ":", 2)
+		base, ok := p.prefixes[parts[0]]
+		if !ok {
+			return Node{}, p.errf("undeclared prefix %q", parts[0])
+		}
+		n := TermNode(rdf.NewIRI(base + parts[1]))
+		return n, p.advance()
+	case tokString:
+		var t rdf.Term
+		switch {
+		case p.tok.lang != "":
+			t = rdf.NewLangLiteral(p.tok.text, p.tok.lang)
+		case p.tok.dt != "":
+			t = rdf.NewTypedLiteral(p.tok.text, p.tok.dt)
+		default:
+			t = rdf.NewLiteral(p.tok.text)
+		}
+		return TermNode(t), p.advance()
+	case tokNumber:
+		txt := p.tok.text
+		var t rdf.Term
+		if strings.Contains(txt, ".") {
+			t = rdf.NewTypedLiteral(txt, rdf.XSDDecimal)
+		} else {
+			t = rdf.NewTypedLiteral(txt, rdf.XSDInteger)
+		}
+		return TermNode(t), p.advance()
+	case tokIdent:
+		if p.tok.text == "a" {
+			n := TermNode(rdf.NewIRI(rdf.RDFType))
+			return n, p.advance()
+		}
+		return Node{}, p.errf("unexpected identifier %q in pattern", p.tok.text)
+	default:
+		return Node{}, p.errf("expected term, variable or parameter")
+	}
+}

@@ -1,0 +1,213 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseIntroExample(t *testing.T) {
+	// The paper's introductory template, verbatim modulo prefix decls.
+	src := `
+PREFIX sn: <http://example.org/sn/>
+select * where {
+  ?person sn:firstName %name .
+  ?person sn:livesIn %country .
+}`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(q.Where))
+	}
+	if q.Where[0].P != TermNode(rdf.NewIRI("http://example.org/sn/firstName")) {
+		t.Fatalf("prefix expansion failed: %v", q.Where[0].P)
+	}
+	params := q.Params()
+	if len(params) != 2 || params[0] != "country" || params[1] != "name" {
+		t.Fatalf("params = %v", params)
+	}
+	vars := q.Vars()
+	if len(vars) != 1 || vars[0] != "person" {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestParseFullFeatures(t *testing.T) {
+	src := `
+PREFIX ex: <http://x/>
+SELECT DISTINCT ?s ?n WHERE {
+  ?s a ex:Person ;
+     ex:name ?n ;
+     ex:knows ex:alice, ex:bob .
+  ?s ex:age ?age .
+  FILTER(?age >= 18 && ?age < 65)
+  FILTER(?n != "root")
+} ORDER BY DESC(?age) ?n LIMIT 10`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	if len(q.Select) != 2 || q.Select[0] != "s" || q.Select[1] != "n" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Where) != 5 {
+		t.Errorf("patterns = %d, want 5 (a, name, knows alice, knows bob, age)", len(q.Where))
+	}
+	if q.Where[0].P != TermNode(rdf.NewIRI(rdf.RDFType)) {
+		t.Errorf("'a' not expanded to rdf:type: %v", q.Where[0].P)
+	}
+	if len(q.Filters) != 3 {
+		t.Errorf("filters = %d, want 3", len(q.Filters))
+	}
+	if q.Filters[0].Op != OpGe || q.Filters[1].Op != OpLt || q.Filters[2].Op != OpNe {
+		t.Errorf("filter ops = %v %v %v", q.Filters[0].Op, q.Filters[1].Op, q.Filters[2].Op)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `SELECT * WHERE {
+  ?s <http://x/p1> "plain" .
+  ?s <http://x/p2> "tagged"@en .
+  ?s <http://x/p3> "7"^^<http://www.w3.org/2001/XMLSchema#integer> .
+  ?s <http://x/p4> 42 .
+  ?s <http://x/p5> 3.5 .
+  ?s <http://x/p6> "esc\"aped\n" .
+}`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rdf.Term{
+		rdf.NewLiteral("plain"),
+		rdf.NewLangLiteral("tagged", "en"),
+		rdf.NewTypedLiteral("7", rdf.XSDInteger),
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		rdf.NewTypedLiteral("3.5", rdf.XSDDecimal),
+		rdf.NewLiteral("esc\"aped\n"),
+	}
+	for i, w := range want {
+		if q.Where[i].O != TermNode(w) {
+			t.Errorf("pattern %d object = %v, want %v", i, q.Where[i].O, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"missing select":     `WHERE { ?s ?p ?o . }`,
+		"no where block":     `SELECT *`,
+		"unterminated block": `SELECT * WHERE { ?s ?p ?o .`,
+		"missing dot":        `SELECT * WHERE { ?s ?p ?o }`,
+		"empty where":        `SELECT * WHERE { }`,
+		"undeclared prefix":  `SELECT * WHERE { ?s ex:p ?o . }`,
+		"bad filter op":      `SELECT * WHERE { ?s ?p ?o . FILTER(?o ! 3) }`,
+		"filter no paren":    `SELECT * WHERE { ?s ?p ?o . FILTER ?o > 3 }`,
+		"bad limit":          `SELECT * WHERE { ?s ?p ?o . } LIMIT x`,
+		"trailing":           `SELECT * WHERE { ?s ?p ?o . } nonsense`,
+		"empty var":          `SELECT * WHERE { ? ?p ?o . }`,
+		"empty param":        `SELECT * WHERE { ?s ?p % . }`,
+		"order no key":       `SELECT * WHERE { ?s ?p ?o . } ORDER BY`,
+		"unterminated str":   `SELECT * WHERE { ?s ?p "abc . }`,
+		"bare ident":         `SELECT * WHERE { ?s ?p banana . }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestBind(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s <http://x/type> %t . FILTER(?s != %t) }`)
+	bound, err := q.Bind(Binding{"t": rdf.NewIRI("http://x/T1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound.Params()) != 0 {
+		t.Fatalf("bound query still has params: %v", bound.Params())
+	}
+	if bound.Where[0].O != TermNode(rdf.NewIRI("http://x/T1")) {
+		t.Fatalf("pattern not substituted: %v", bound.Where[0].O)
+	}
+	if bound.Filters[0].Right != TermNode(rdf.NewIRI("http://x/T1")) {
+		t.Fatalf("filter not substituted: %v", bound.Filters[0].Right)
+	}
+	// Original untouched.
+	if len(q.Params()) != 1 {
+		t.Fatal("Bind mutated the template")
+	}
+	// Missing binding.
+	if _, err := q.Bind(Binding{}); err == nil {
+		t.Fatal("expected error for missing binding")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	src := `SELECT DISTINCT ?s WHERE {
+  ?s <http://x/p> ?o .
+  FILTER(?o > 3)
+} ORDER BY DESC(?o) LIMIT 5`
+	q := MustParse(src)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse of %q failed: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("not a fixpoint:\n%s\nvs\n%s", q.String(), q2.String())
+	}
+}
+
+func TestTemplateStringKeepsParams(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s <http://x/p> %v . }`)
+	if !strings.Contains(q.String(), "%v") {
+		t.Fatalf("template rendering lost parameter: %s", q.String())
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Params()) != 1 {
+		t.Fatal("re-parsed template lost params")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# leading comment
+SELECT * WHERE {
+  ?s ?p ?o . # trailing comment
+}`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDollarVariables(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { $s <http://x/p> $o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars()) != 2 {
+		t.Fatalf("vars = %v", q.Vars())
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalCDF returns the cumulative distribution function of N(mu, sigma²)
+// at x. For sigma <= 0 it degenerates to a step function at mu.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// KSResult reports a Kolmogorov–Smirnov test outcome.
+type KSResult struct {
+	D      float64 // the KS statistic: sup |F_empirical - F_reference|
+	PValue float64 // asymptotic p-value (Kolmogorov distribution)
+	N      int     // effective sample size
+}
+
+// KSNormal runs a one-sample Kolmogorov–Smirnov test of xs against a normal
+// distribution with the sample's own mean and standard deviation — exactly
+// the procedure the paper applies to BSBM-BI Q2 runtimes in E1 ("the
+// distance between the runtime distribution … and the normal distribution
+// results in the distance of 0.89"). Fitting parameters from the sample
+// makes the p-value approximate (Lilliefors correction is ignored), which
+// matches the paper's usage as a distance measure.
+func KSNormal(xs []float64) KSResult {
+	mu := Mean(xs)
+	sigma := StdDev(xs)
+	return KSAgainstCDF(xs, func(x float64) float64 { return NormalCDF(x, mu, sigma) })
+}
+
+// KSAgainstCDF runs a one-sample KS test of xs against an arbitrary
+// reference CDF.
+func KSAgainstCDF(xs []float64, cdf func(float64) float64) KSResult {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{D: math.NaN(), PValue: math.NaN()}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		// Compare against the empirical CDF just below and at x.
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return KSResult{D: d, PValue: ksPValue(d, float64(n)), N: n}
+}
+
+// KSTwoSample runs a two-sample KS test (used to compare runtime
+// distributions across different parameter samples — property P2).
+func KSTwoSample(xs, ys []float64) KSResult {
+	n, m := len(xs), len(ys)
+	if n == 0 || m == 0 {
+		return KSResult{D: math.NaN(), PValue: math.NaN()}
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	d := 0.0
+	for i < n && j < m {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	return KSResult{D: d, PValue: ksPValue(d, ne), N: n + m}
+}
+
+// ksPValue returns the asymptotic Kolmogorov-distribution p-value
+// P(D_n > d) ≈ 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²) with
+// λ = d (√n + 0.12 + 0.11/√n) (Stephens' approximation).
+func ksPValue(d, n float64) float64 {
+	if n <= 0 || math.IsNaN(d) {
+		return math.NaN()
+	}
+	sn := math.Sqrt(n)
+	lambda := d * (sn + 0.12 + 0.11/sn)
+	if lambda < 1e-9 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*lambda*lambda*float64(k)*float64(k))
+		sum += term
+		sign = -sign
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,235 @@
+// Package stats provides the statistical machinery the paper's evaluation
+// uses: descriptive summaries (mean, variance, quantiles), the
+// Kolmogorov–Smirnov goodness-of-fit test against a fitted normal
+// distribution (example E1), Pearson correlation (the Cout-vs-runtime claim
+// in Section III) and simple bimodality diagnostics (example E3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0 for
+// fewer than two samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum, or +Inf for empty input.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or -Inf for empty input.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks (the "exclusive" convention used by
+// most benchmark reports). It sorts a copy; xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the descriptive statistics reported in the paper's
+// tables (E2's q10/median/q90/avg and E3's min/median/mean/q95/max).
+type Summary struct {
+	N        int
+	Min      float64
+	Q10      float64
+	Median   float64
+	Mean     float64
+	Q90      float64
+	Q95      float64
+	Max      float64
+	Variance float64
+	StdDev   float64
+}
+
+// Summarize computes a Summary in one pass over a sorted copy.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	v := Variance(s)
+	return Summary{
+		N:        len(s),
+		Min:      s[0],
+		Q10:      percentileSorted(s, 10),
+		Median:   percentileSorted(s, 50),
+		Mean:     Mean(s),
+		Q90:      percentileSorted(s, 90),
+		Q95:      percentileSorted(s, 95),
+		Max:      s[len(s)-1],
+		Variance: v,
+		StdDev:   math.Sqrt(v),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g q10=%.3g med=%.3g mean=%.3g q90=%.3g q95=%.3g max=%.3g var=%.3g",
+		s.N, s.Min, s.Q10, s.Median, s.Mean, s.Q90, s.Q95, s.Max, s.Variance)
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples xs, ys. It returns NaN if the lengths differ, fewer than
+// two pairs are given, or either series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MeanMedianRatio returns mean/median — the paper's E3 headline ("the
+// arithmetic mean is over 10 times larger than the median"). Returns NaN
+// for empty input or zero median.
+func MeanMedianRatio(xs []float64) float64 {
+	med := Median(xs)
+	if med == 0 || math.IsNaN(med) {
+		return math.NaN()
+	}
+	return Mean(xs) / med
+}
+
+// LargestRelativeGap sorts xs and returns the largest multiplicative gap
+// between consecutive distinct positive values, along with the midpoint of
+// that gap. A strongly bimodal ("clustered") runtime distribution — E3's
+// "either extremely fast or surprisingly slow, almost no query in between"
+// — exhibits a large such gap. Returns (1, NaN) when no gap exists.
+func LargestRelativeGap(xs []float64) (ratio, midpoint float64) {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	ratio, midpoint = 1, math.NaN()
+	for i := 1; i < len(s); i++ {
+		if s[i-1] == 0 || s[i] == s[i-1] {
+			continue
+		}
+		r := s[i] / s[i-1]
+		if r > ratio {
+			ratio = r
+			midpoint = math.Sqrt(s[i] * s[i-1])
+		}
+	}
+	return ratio, midpoint
+}
+
+// FractionWithin returns the fraction of xs lying within [lo, hi].
+// E3 observes that no runtime lies near the mean; this quantifies it.
+func FractionWithin(xs []float64, lo, hi float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// MaxRelativeDeviation returns max_i |v_i - mean| / mean over a slice of
+// group aggregates — the "deviation in reported average runtime would be up
+// to 40%" metric of E2. Returns 0 for fewer than two values or zero mean.
+func MaxRelativeDeviation(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	if m == 0 {
+		return 0
+	}
+	worst := 0.0
+	for _, v := range vs {
+		d := math.Abs(v-m) / math.Abs(m)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

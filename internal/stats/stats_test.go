@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	// Sample variance with n-1: sum sq dev = 32, / 7.
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if Variance([]float64{1}) != 0 || Variance(nil) != 0 {
+		t.Fatal("variance of <2 samples should be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestPercentilesAndSummary(t *testing.T) {
+	xs := []float64{10, 1, 5, 3, 8, 2, 9, 4, 7, 6} // 1..10 shuffled
+	if med := Median(xs); !almost(med, 5.5, 1e-12) {
+		t.Fatalf("Median = %v, want 5.5", med)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("P0 = %v, want 1", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Fatalf("P100 = %v, want 10", p)
+	}
+	if p := Percentile(xs, 90); !almost(p, 9.1, 1e-9) {
+		t.Fatalf("P90 = %v, want 9.1", p)
+	}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || !almost(s.Median, 5.5, 1e-12) {
+		t.Fatalf("Summary wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+	if math.IsNaN(Percentile(nil, 50)) == false {
+		t.Fatal("Percentile of empty should be NaN")
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("Summarize(nil) should be zero")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return Min(xs) == Percentile(xs, 0) && Max(xs) == Percentile(xs, 100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almost(r, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v", r)
+	}
+	if !math.IsNaN(Pearson(xs, ys[:3])) {
+		t.Fatal("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{2, 3})) {
+		t.Fatal("constant series should be NaN")
+	}
+}
+
+func TestPearsonNoisyLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = 3*xs[i] + rng.NormFloat64()*5
+	}
+	if r := Pearson(xs, ys); r < 0.97 {
+		t.Fatalf("noisy linear correlation = %v, want > 0.97", r)
+	}
+}
+
+func TestMeanMedianRatioAndGap(t *testing.T) {
+	// Strongly bimodal: 90 values near 1, 10 values near 1000.
+	var xs []float64
+	for i := 0; i < 90; i++ {
+		xs = append(xs, 1+float64(i)*0.001)
+	}
+	for i := 0; i < 10; i++ {
+		xs = append(xs, 1000+float64(i))
+	}
+	if r := MeanMedianRatio(xs); r < 50 {
+		t.Fatalf("bimodal mean/median = %v, want large", r)
+	}
+	gap, mid := LargestRelativeGap(xs)
+	if gap < 500 {
+		t.Fatalf("gap ratio = %v, want large", gap)
+	}
+	if mid < 1.1 || mid > 999 {
+		t.Fatalf("gap midpoint = %v, want between modes", mid)
+	}
+	// Unimodal data: small gap.
+	uni := make([]float64, 100)
+	for i := range uni {
+		uni[i] = 100 + float64(i)
+	}
+	if g, _ := LargestRelativeGap(uni); g > 1.02 {
+		t.Fatalf("unimodal gap = %v, want ~1", g)
+	}
+	if !math.IsNaN(MeanMedianRatio(nil)) {
+		t.Fatal("empty ratio should be NaN")
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if f := FractionWithin(xs, 2, 4); !almost(f, 0.6, 1e-12) {
+		t.Fatalf("FractionWithin = %v, want 0.6", f)
+	}
+	if FractionWithin(nil, 0, 1) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestMaxRelativeDeviation(t *testing.T) {
+	vs := []float64{1.80, 1.33, 1.53, 1.30} // the paper's E2 averages
+	d := MaxRelativeDeviation(vs)
+	if d < 0.15 || d > 0.35 {
+		t.Fatalf("E2 deviation = %v, want ~0.2", d)
+	}
+	if MaxRelativeDeviation([]float64{5}) != 0 {
+		t.Fatal("single value should be 0")
+	}
+	if MaxRelativeDeviation([]float64{0, 0}) != 0 {
+		t.Fatal("zero mean should be 0")
+	}
+}

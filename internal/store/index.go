@@ -1,0 +1,129 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// order identifies one of the six triple component permutations.
+type order uint8
+
+const (
+	orderSPO order = iota
+	orderSOP
+	orderPSO
+	orderPOS
+	orderOSP
+	orderOPS
+	numOrders
+)
+
+// orderPositions[o] lists triple positions (0=S,1=P,2=O) in sort-key order.
+var orderPositions = [numOrders][3]int{
+	orderSPO: {0, 1, 2},
+	orderSOP: {0, 2, 1},
+	orderPSO: {1, 0, 2},
+	orderPOS: {1, 2, 0},
+	orderOSP: {2, 0, 1},
+	orderOPS: {2, 1, 0},
+}
+
+// String names the order for debugging.
+func (o order) String() string {
+	names := [numOrders]string{"SPO", "SOP", "PSO", "POS", "OSP", "OPS"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return "?"
+}
+
+// orderForMask maps a bound-position bitmask (bit0=S, bit1=P, bit2=O) to an
+// index whose sort key starts with exactly the bound positions, so matches
+// form one contiguous range.
+var orderForMask = [8]order{
+	0:         orderSPO, // no bound positions: full scan, any order
+	1:         orderSPO, // S
+	2:         orderPSO, // P
+	4:         orderOSP, // O
+	1 | 2:     orderSPO, // S,P
+	1 | 4:     orderSOP, // S,O
+	2 | 4:     orderPOS, // P,O
+	1 | 2 | 4: orderSPO, // S,P,O
+}
+
+func orderFor(mask int) order { return orderForMask[mask&7] }
+
+// key extracts the three-component sort key of t under order o.
+func key(t IDTriple, o order) (a, b, c dict.ID) {
+	p := orderPositions[o]
+	return positionValue(t, p[0]), positionValue(t, p[1]), positionValue(t, p[2])
+}
+
+func lessByOrder(x, y IDTriple, o order) bool {
+	xa, xb, xc := key(x, o)
+	ya, yb, yc := key(y, o)
+	if xa != ya {
+		return xa < ya
+	}
+	if xb != yb {
+		return xb < yb
+	}
+	return xc < yc
+}
+
+func sortByOrder(ts []IDTriple, o order) {
+	sort.Slice(ts, func(i, j int) bool { return lessByOrder(ts[i], ts[j], o) })
+}
+
+// searchRange returns the half-open index range [lo, hi) of triples in idx
+// (sorted by o) matching pat. pat's bound positions must be a prefix of o's
+// sort key (guaranteed by orderFor).
+func searchRange(idx []IDTriple, o order, pat Pattern) (lo, hi int) {
+	bounds := prefixBounds(o, pat)
+	lo = sort.Search(len(idx), func(i int) bool {
+		return !prefixLess(idx[i], o, bounds) // idx[i] >= lower bound
+	})
+	hi = lo + sort.Search(len(idx)-lo, func(i int) bool {
+		return prefixGreater(idx[lo+i], o, bounds)
+	})
+	return lo, hi
+}
+
+// prefixBounds extracts the bound prefix values of pat under order o.
+// The returned slice has one entry per bound prefix component.
+func prefixBounds(o order, pat Pattern) []dict.ID {
+	var out []dict.ID
+	for _, pos := range orderPositions[o] {
+		v := positionValue(IDTriple{S: pat.S, P: pat.P, O: pat.O}, pos)
+		if v == dict.None {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// prefixLess reports whether t's key prefix under o is strictly below the
+// bound values.
+func prefixLess(t IDTriple, o order, bounds []dict.ID) bool {
+	for i, pos := range orderPositions[o][:len(bounds)] {
+		v := positionValue(t, pos)
+		if v != bounds[i] {
+			return v < bounds[i]
+		}
+	}
+	return false
+}
+
+// prefixGreater reports whether t's key prefix under o is strictly above
+// the bound values.
+func prefixGreater(t IDTriple, o order, bounds []dict.ID) bool {
+	for i, pos := range orderPositions[o][:len(bounds)] {
+		v := positionValue(t, pos)
+		if v != bounds[i] {
+			return v > bounds[i]
+		}
+	}
+	return false
+}

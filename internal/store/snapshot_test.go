@@ -1,0 +1,141 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st, ids := buildTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != st.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), st.Len())
+	}
+	if got.Dict().Len() != st.Dict().Len() {
+		t.Fatalf("dict len = %d, want %d", got.Dict().Len(), st.Dict().Len())
+	}
+	// All patterns answer identically.
+	pats := []Pattern{
+		{},
+		{S: ids["s1"]},
+		{P: ids["knows"]},
+		{O: ids["s3"]},
+		{S: ids["s1"], P: ids["knows"]},
+		{P: ids["knows"], O: ids["s3"]},
+	}
+	for _, p := range pats {
+		if got.Count(p) != st.Count(p) {
+			t.Fatalf("Count(%v): %d vs %d", p, got.Count(p), st.Count(p))
+		}
+	}
+	// Dictionary IDs must be preserved exactly (same insertion order).
+	for name, id := range ids {
+		term := rdf.NewIRI("http://x/" + name)
+		gotID, ok := got.Dict().Lookup(term)
+		if !ok || gotID != id {
+			t.Fatalf("term %s: id %d vs %d", name, gotID, id)
+		}
+	}
+	// Predicate statistics are rebuilt identically.
+	if got.PredicateStats(ids["knows"]) != st.PredicateStats(ids["knows"]) {
+		t.Fatal("predicate stats differ after round trip")
+	}
+	// Type index too.
+	if len(got.SubjectsOfClass(ids["Person"])) != len(st.SubjectsOfClass(ids["Person"])) {
+		t.Fatal("type index differs after round trip")
+	}
+}
+
+func TestSnapshotAllTermKinds(t *testing.T) {
+	b := NewBuilder()
+	s := rdf.NewIRI("http://x/s")
+	p := rdf.NewIRI("http://x/p")
+	objs := []rdf.Term{
+		rdf.NewLiteral("plain"),
+		rdf.NewLangLiteral("hallo", "de"),
+		rdf.NewTypedLiteral("7", rdf.XSDInteger),
+		rdf.NewBlank("b1"),
+		rdf.NewLiteral("unicode ✓ and \"quotes\"\n"),
+	}
+	for _, o := range objs {
+		if err := b.Add(rdf.NewTriple(s, p, o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Build()
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		id, ok := got.Dict().Lookup(o)
+		if !ok {
+			t.Fatalf("term %v lost in round trip", o)
+		}
+		if got.Dict().Decode(id) != o {
+			t.Fatalf("term %v corrupted", o)
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadSnapshot(strings.NewReader("NOTASNAP????")); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	// Truncated.
+	st, _ := buildTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 9, 20, len(full) - 4} {
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d should fail", cut)
+		}
+	}
+	// Corrupt a triple's term ID to an out-of-range value.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] = 0xFF
+	corrupt[len(corrupt)-2] = 0xFF
+	corrupt[len(corrupt)-3] = 0xFF
+	corrupt[len(corrupt)-4] = 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("invalid term id should fail")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	st := NewBuilder().Build()
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dict().Len() != 0 {
+		t.Fatal("empty store round trip not empty")
+	}
+	if got.Count(Pattern{}) != 0 {
+		t.Fatal("empty store should count 0")
+	}
+	_ = dict.None
+}

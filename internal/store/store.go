@@ -1,0 +1,317 @@
+// Package store implements an in-memory, dictionary-encoded RDF triple
+// store with all six subject/predicate/object permutation indexes (the
+// Hexastore / RDF-3X layout). After bulk load the store is immutable; every
+// triple pattern with any combination of bound positions is answered by a
+// binary-searched contiguous range of exactly one index, which also gives
+// exact pattern cardinalities in O(log n). Exact counts are what the Cout
+// cost model and the optimizer's cardinality estimator are built on.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// IDTriple is a dictionary-encoded triple.
+type IDTriple struct {
+	S, P, O dict.ID
+}
+
+// Pattern is a triple pattern over IDs; dict.None (0) marks a wildcard
+// position.
+type Pattern struct {
+	S, P, O dict.ID
+}
+
+// String renders the pattern with '?' wildcards, for debugging.
+func (p Pattern) String() string {
+	f := func(id dict.ID) string {
+		if id == dict.None {
+			return "?"
+		}
+		return fmt.Sprintf("%d", id)
+	}
+	return fmt.Sprintf("(%s %s %s)", f(p.S), f(p.P), f(p.O))
+}
+
+// boundMask returns a 3-bit mask of bound positions: bit0=S, bit1=P, bit2=O.
+func (p Pattern) boundMask() int {
+	m := 0
+	if p.S != dict.None {
+		m |= 1
+	}
+	if p.P != dict.None {
+		m |= 2
+	}
+	if p.O != dict.None {
+		m |= 4
+	}
+	return m
+}
+
+// Store is an immutable triple store. Build one with a Builder.
+type Store struct {
+	dict    *dict.Dict
+	n       int
+	idx     [numOrders][]IDTriple
+	pstats  map[dict.ID]PredStats
+	typeIdx map[dict.ID][]dict.ID // rdf:type class -> sorted subject IDs
+	typeID  dict.ID               // ID of rdf:type, or None if absent
+}
+
+// PredStats holds exact per-predicate statistics used by the cardinality
+// estimator.
+type PredStats struct {
+	Count     int // triples with this predicate
+	DistinctS int // distinct subjects among them
+	DistinctO int // distinct objects among them
+}
+
+// Builder accumulates triples and produces an immutable Store.
+type Builder struct {
+	dict    *dict.Dict
+	triples []IDTriple
+	dedup   map[IDTriple]struct{}
+}
+
+// NewBuilder returns an empty Builder with a fresh dictionary.
+func NewBuilder() *Builder {
+	return &Builder{
+		dict:  dict.New(),
+		dedup: make(map[IDTriple]struct{}),
+	}
+}
+
+// Dict exposes the dictionary so generators can pre-encode terms.
+func (b *Builder) Dict() *dict.Dict { return b.dict }
+
+// Add encodes and inserts one triple. Duplicate triples are ignored
+// (RDF graphs are sets). Invalid triples are rejected.
+func (b *Builder) Add(t rdf.Triple) error {
+	if !t.Valid() {
+		return fmt.Errorf("store: invalid triple %v", t)
+	}
+	it := IDTriple{
+		S: b.dict.Encode(t.S),
+		P: b.dict.Encode(t.P),
+		O: b.dict.Encode(t.O),
+	}
+	b.AddID(it)
+	return nil
+}
+
+// AddID inserts an already-encoded triple, ignoring duplicates. The caller
+// must have produced the IDs with this builder's Dict.
+func (b *Builder) AddID(it IDTriple) {
+	if _, dup := b.dedup[it]; dup {
+		return
+	}
+	b.dedup[it] = struct{}{}
+	b.triples = append(b.triples, it)
+}
+
+// Len returns the number of distinct triples added so far.
+func (b *Builder) Len() int { return len(b.triples) }
+
+// LoadNTriples reads N-Triples from r into the builder.
+func (b *Builder) LoadNTriples(r io.Reader) error {
+	rd := rdf.NewReader(r)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := b.Add(t); err != nil {
+			return err
+		}
+	}
+}
+
+// Build sorts the six permutation indexes, computes statistics and returns
+// the immutable store. The builder must not be used afterwards.
+func (b *Builder) Build() *Store {
+	s := &Store{
+		dict: b.dict,
+		n:    len(b.triples),
+	}
+	s.idx[orderSPO] = b.triples
+	b.triples = nil
+	b.dedup = nil
+	base := s.idx[orderSPO]
+	for o := orderSPO + 1; o < numOrders; o++ {
+		cp := make([]IDTriple, len(base))
+		copy(cp, base)
+		s.idx[o] = cp
+	}
+	for o := order(0); o < numOrders; o++ {
+		sortByOrder(s.idx[o], o)
+	}
+	s.computeStats()
+	return s
+}
+
+// Dict returns the store's dictionary.
+func (s *Store) Dict() *dict.Dict { return s.dict }
+
+// Len returns the number of triples.
+func (s *Store) Len() int { return s.n }
+
+// Match returns the triples matching pat as a zero-copy subslice of the
+// best-fitting permutation index. The result's sort order is that of the
+// returned order value (useful for merge joins); callers that only need the
+// set of matches can ignore it.
+func (s *Store) Match(pat Pattern) ([]IDTriple, order) {
+	o := orderFor(pat.boundMask())
+	idx := s.idx[o]
+	lo, hi := searchRange(idx, o, pat)
+	return idx[lo:hi], o
+}
+
+// Count returns the exact number of triples matching pat in O(log n).
+func (s *Store) Count(pat Pattern) int {
+	o := orderFor(pat.boundMask())
+	idx := s.idx[o]
+	lo, hi := searchRange(idx, o, pat)
+	return hi - lo
+}
+
+// PredicateStats returns exact statistics for predicate p. The zero value
+// is returned for unknown predicates.
+func (s *Store) PredicateStats(p dict.ID) PredStats { return s.pstats[p] }
+
+// Predicates returns the IDs of all predicates present, in ascending ID
+// order.
+func (s *Store) Predicates() []dict.ID {
+	out := make([]dict.ID, 0, len(s.pstats))
+	for p := range s.pstats {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubjectsOfClass returns the sorted subject IDs having rdf:type c, sharing
+// the store's backing array (callers must not modify it).
+func (s *Store) SubjectsOfClass(c dict.ID) []dict.ID { return s.typeIdx[c] }
+
+// DistinctValues returns the distinct IDs occurring in the given position
+// (0=S,1=P,2=O) of triples matching pat. Used for parameter-domain
+// extraction.
+func (s *Store) DistinctValues(position int, pat Pattern) []dict.ID {
+	// Choose an index where `position` is ordered first among the unbound
+	// positions so distinct values appear in runs.
+	triples, o := s.Match(pat)
+	var out []dict.ID
+	var last dict.ID
+	seen := make(map[dict.ID]struct{})
+	ordered := firstUnboundIsPosition(o, pat.boundMask(), position)
+	for i := range triples {
+		v := positionValue(triples[i], position)
+		if ordered {
+			if i == 0 || v != last {
+				out = append(out, v)
+				last = v
+			}
+			continue
+		}
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	if !ordered {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+func positionValue(t IDTriple, position int) dict.ID {
+	switch position {
+	case 0:
+		return t.S
+	case 1:
+		return t.P
+	default:
+		return t.O
+	}
+}
+
+// firstUnboundIsPosition reports whether, in order o with bound mask m, the
+// first unbound position in the sort order equals `position` — i.e. matches
+// are grouped by that position.
+func firstUnboundIsPosition(o order, mask, position int) bool {
+	for _, pos := range orderPositions[o] {
+		bit := 1 << pos
+		if mask&bit != 0 {
+			continue
+		}
+		return pos == position
+	}
+	return false
+}
+
+func (s *Store) computeStats() {
+	s.pstats = make(map[dict.ID]PredStats)
+	// PSO: distinct subjects per predicate; predicate runs are contiguous.
+	pso := s.idx[orderPSO]
+	for i := 0; i < len(pso); {
+		p := pso[i].P
+		st := PredStats{}
+		var lastS dict.ID
+		j := i
+		for ; j < len(pso) && pso[j].P == p; j++ {
+			st.Count++
+			if j == i || pso[j].S != lastS {
+				st.DistinctS++
+				lastS = pso[j].S
+			}
+		}
+		s.pstats[p] = st
+		i = j
+	}
+	// POS: distinct objects per predicate.
+	pos := s.idx[orderPOS]
+	for i := 0; i < len(pos); {
+		p := pos[i].P
+		distinct := 0
+		var lastO dict.ID
+		j := i
+		for ; j < len(pos) && pos[j].P == p; j++ {
+			if j == i || pos[j].O != lastO {
+				distinct++
+				lastO = pos[j].O
+			}
+		}
+		st := s.pstats[p]
+		st.DistinctO = distinct
+		s.pstats[p] = st
+		i = j
+	}
+	// rdf:type index.
+	s.typeIdx = make(map[dict.ID][]dict.ID)
+	typeID, ok := s.dict.Lookup(rdf.NewIRI(rdf.RDFType))
+	if !ok {
+		return
+	}
+	s.typeID = typeID
+	members, _ := s.Match(Pattern{P: typeID}) // POS order: grouped by O, then S
+	for i := 0; i < len(members); {
+		c := members[i].O
+		j := i
+		var subjects []dict.ID
+		for ; j < len(members) && members[j].O == c; j++ {
+			if len(subjects) == 0 || subjects[len(subjects)-1] != members[j].S {
+				subjects = append(subjects, members[j].S)
+			}
+		}
+		s.typeIdx[c] = subjects
+		i = j
+	}
+}

@@ -1,0 +1,278 @@
+package store
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func buildTestStore(t *testing.T) (*Store, map[string]dict.ID) {
+	t.Helper()
+	b := NewBuilder()
+	add := func(s, p, o rdf.Term) {
+		t.Helper()
+		if err := b.Add(rdf.NewTriple(s, p, o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iri := func(n string) rdf.Term { return rdf.NewIRI("http://x/" + n) }
+	add(iri("s1"), iri("knows"), iri("s2"))
+	add(iri("s1"), iri("knows"), iri("s3"))
+	add(iri("s2"), iri("knows"), iri("s3"))
+	add(iri("s1"), iri("name"), rdf.NewLiteral("alice"))
+	add(iri("s2"), iri("name"), rdf.NewLiteral("bob"))
+	add(iri("s3"), iri("name"), rdf.NewLiteral("carol"))
+	add(iri("s1"), rdf.NewIRI(rdf.RDFType), iri("Person"))
+	add(iri("s2"), rdf.NewIRI(rdf.RDFType), iri("Person"))
+	add(iri("s3"), rdf.NewIRI(rdf.RDFType), iri("Robot"))
+	st := b.Build()
+	ids := map[string]dict.ID{}
+	for _, n := range []string{"s1", "s2", "s3", "knows", "name", "Person", "Robot"} {
+		id, ok := st.Dict().Lookup(iri(n))
+		if !ok {
+			t.Fatalf("missing id for %s", n)
+		}
+		ids[n] = id
+	}
+	return st, ids
+}
+
+func TestBuilderRejectsInvalid(t *testing.T) {
+	b := NewBuilder()
+	err := b.Add(rdf.NewTriple(rdf.NewLiteral("s"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("o")))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder()
+	tr := rdf.NewTriple(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("o"))
+	for i := 0; i < 3; i++ {
+		if err := b.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if st := b.Build(); st.Len() != 1 {
+		t.Fatalf("store Len = %d, want 1", st.Len())
+	}
+}
+
+func TestCountAllPatternShapes(t *testing.T) {
+	st, ids := buildTestStore(t)
+	typeID, _ := st.Dict().Lookup(rdf.NewIRI(rdf.RDFType))
+	cases := []struct {
+		name string
+		pat  Pattern
+		want int
+	}{
+		{"all", Pattern{}, 9},
+		{"S", Pattern{S: ids["s1"]}, 4},
+		{"P", Pattern{P: ids["knows"]}, 3},
+		{"O", Pattern{O: ids["s3"]}, 2},
+		{"SP", Pattern{S: ids["s1"], P: ids["knows"]}, 2},
+		{"SO", Pattern{S: ids["s1"], O: ids["s3"]}, 1},
+		{"PO", Pattern{P: typeID, O: ids["Person"]}, 2},
+		{"SPO", Pattern{S: ids["s1"], P: ids["knows"], O: ids["s2"]}, 1},
+		{"SPO-miss", Pattern{S: ids["s2"], P: ids["knows"], O: ids["s1"]}, 0},
+	}
+	for _, c := range cases {
+		if got := st.Count(c.pat); got != c.want {
+			t.Errorf("%s: Count(%v) = %d, want %d", c.name, c.pat, got, c.want)
+		}
+		m, _ := st.Match(c.pat)
+		if len(m) != c.want {
+			t.Errorf("%s: len(Match) = %d, want %d", c.name, len(m), c.want)
+		}
+		for _, tr := range m {
+			if !matches(tr, c.pat) {
+				t.Errorf("%s: Match returned non-matching triple %v", c.name, tr)
+			}
+		}
+	}
+}
+
+func matches(t IDTriple, p Pattern) bool {
+	return (p.S == dict.None || p.S == t.S) &&
+		(p.P == dict.None || p.P == t.P) &&
+		(p.O == dict.None || p.O == t.O)
+}
+
+func TestPredicateStats(t *testing.T) {
+	st, ids := buildTestStore(t)
+	ks := st.PredicateStats(ids["knows"])
+	if ks.Count != 3 || ks.DistinctS != 2 || ks.DistinctO != 2 {
+		t.Fatalf("knows stats = %+v, want {3 2 2}", ks)
+	}
+	ns := st.PredicateStats(ids["name"])
+	if ns.Count != 3 || ns.DistinctS != 3 || ns.DistinctO != 3 {
+		t.Fatalf("name stats = %+v, want {3 3 3}", ns)
+	}
+	if got := st.PredicateStats(ids["s1"]); got != (PredStats{}) {
+		t.Fatalf("non-predicate stats should be zero, got %+v", got)
+	}
+}
+
+func TestPredicatesListed(t *testing.T) {
+	st, ids := buildTestStore(t)
+	ps := st.Predicates()
+	if len(ps) != 3 {
+		t.Fatalf("Predicates() returned %d, want 3", len(ps))
+	}
+	seen := map[dict.ID]bool{}
+	for _, p := range ps {
+		seen[p] = true
+	}
+	if !seen[ids["knows"]] || !seen[ids["name"]] {
+		t.Fatal("Predicates() missing expected predicates")
+	}
+}
+
+func TestSubjectsOfClass(t *testing.T) {
+	st, ids := buildTestStore(t)
+	persons := st.SubjectsOfClass(ids["Person"])
+	if len(persons) != 2 {
+		t.Fatalf("Person members = %d, want 2", len(persons))
+	}
+	robots := st.SubjectsOfClass(ids["Robot"])
+	if len(robots) != 1 {
+		t.Fatalf("Robot members = %d, want 1", len(robots))
+	}
+	if len(st.SubjectsOfClass(ids["s1"])) != 0 {
+		t.Fatal("non-class should have no members")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	st, ids := buildTestStore(t)
+	subjects := st.DistinctValues(0, Pattern{P: ids["knows"]})
+	if len(subjects) != 2 {
+		t.Fatalf("distinct subjects of knows = %d, want 2", len(subjects))
+	}
+	objects := st.DistinctValues(2, Pattern{P: ids["knows"]})
+	if len(objects) != 2 {
+		t.Fatalf("distinct objects of knows = %d, want 2", len(objects))
+	}
+	preds := st.DistinctValues(1, Pattern{})
+	if len(preds) != 3 {
+		t.Fatalf("distinct predicates = %d, want 3", len(preds))
+	}
+	// Results must be sorted and unique.
+	for i := 1; i < len(preds); i++ {
+		if preds[i] <= preds[i-1] {
+			t.Fatal("DistinctValues not sorted/unique")
+		}
+	}
+}
+
+func TestLoadNTriples(t *testing.T) {
+	input := `<http://x/a> <http://x/p> <http://x/b> .
+<http://x/b> <http://x/p> <http://x/c> .
+<http://x/a> <http://x/p> <http://x/b> .
+`
+	b := NewBuilder()
+	if err := b.LoadNTriples(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Build()
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dedup)", st.Len())
+	}
+	if err := NewBuilder().LoadNTriples(strings.NewReader("bogus\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+// Property test: Match/Count agree with a naive scan for random data and
+// random patterns, across all 8 bound-position shapes.
+func TestMatchAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	d := b.Dict()
+	var all []IDTriple
+	seen := map[IDTriple]struct{}{}
+	for i := 0; i < 2000; i++ {
+		tr := IDTriple{
+			S: d.Encode(rdf.NewIRI(randName(rng, "s", 40))),
+			P: d.Encode(rdf.NewIRI(randName(rng, "p", 8))),
+			O: d.Encode(rdf.NewIRI(randName(rng, "o", 60))),
+		}
+		b.AddID(tr)
+		if _, dup := seen[tr]; !dup {
+			seen[tr] = struct{}{}
+			all = append(all, tr)
+		}
+	}
+	st := b.Build()
+	if st.Len() != len(all) {
+		t.Fatalf("store has %d triples, naive %d", st.Len(), len(all))
+	}
+	for trial := 0; trial < 500; trial++ {
+		base := all[rng.Intn(len(all))]
+		pat := Pattern{}
+		if rng.Intn(2) == 0 {
+			pat.S = base.S
+		}
+		if rng.Intn(2) == 0 {
+			pat.P = base.P
+		}
+		if rng.Intn(2) == 0 {
+			pat.O = base.O
+		}
+		want := 0
+		for _, tr := range all {
+			if matches(tr, pat) {
+				want++
+			}
+		}
+		if got := st.Count(pat); got != want {
+			t.Fatalf("Count(%v) = %d, naive %d", pat, got, want)
+		}
+		m, _ := st.Match(pat)
+		for _, tr := range m {
+			if !matches(tr, pat) {
+				t.Fatalf("Match(%v) returned %v", pat, tr)
+			}
+		}
+	}
+}
+
+func randName(rng *rand.Rand, prefix string, n int) string {
+	return "http://x/" + prefix + string(rune('0'+rng.Intn(10))) + string(rune('0'+rng.Intn(n/10+1)))
+}
+
+// Property: every index order yields sorted runs (quick over seeds).
+func TestIndexesSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		d := b.Dict()
+		for i := 0; i < 300; i++ {
+			b.AddID(IDTriple{
+				S: d.Encode(rdf.NewIRI(randName(rng, "s", 30))),
+				P: d.Encode(rdf.NewIRI(randName(rng, "p", 5))),
+				O: d.Encode(rdf.NewIRI(randName(rng, "o", 30))),
+			})
+		}
+		st := b.Build()
+		for o := order(0); o < numOrders; o++ {
+			idx := st.idx[o]
+			for i := 1; i < len(idx); i++ {
+				if lessByOrder(idx[i], idx[i-1], o) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
