@@ -469,6 +469,95 @@ func BenchmarkExecQ4Specific(b *testing.B) {
 	}
 }
 
+// --- Streaming vs materializing, serial vs parallel --------------------------
+
+// benchExecQ4Engine times plan execution only (compile+optimize hoisted)
+// for one BSBM Q4 binding under the given engine options.
+func benchExecQ4Engine(b *testing.B, opts exec.Options) {
+	e := env(b)
+	bound, err := bsbm.Q4().Bind(sparql.Binding{"ProductType": bsbm.TypeIRI(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := plan.Compile(bound, e.BSBM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Optimize(c, plan.NewEstimator(e.BSBM))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res, err := exec.Run(c, p, e.BSBM, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkExecMaterializing is the old engine: every intermediate result
+// fully materialized.
+func BenchmarkExecMaterializing(b *testing.B) {
+	benchExecQ4Engine(b, exec.Options{Mode: exec.Materializing})
+}
+
+// BenchmarkExecStreaming is the batch-pull operator engine over the same
+// physical decisions — identical output, pipelined execution.
+func BenchmarkExecStreaming(b *testing.B) {
+	benchExecQ4Engine(b, exec.Options{Mode: exec.Streaming})
+}
+
+// BenchmarkExecStreamingPushFilters times the streaming engine with
+// single-variable filters evaluated below the joins (SNB Q3 carries a
+// FILTER, so the pruning is real).
+func BenchmarkExecStreamingPushFilters(b *testing.B) {
+	e := env(b)
+	dom, err := core.ExtractDomain(snb.Q3(), e.SNB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bindings := core.NewUniformSampler(dom, 2).Sample(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &workload.Runner{Store: e.SNB, Opts: exec.Options{Mode: exec.Streaming, PushFilters: true}}
+		if _, err := r.Run(snb.Q3(), bindings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAnalyzeQ4 times the per-binding curation analysis at the given
+// parallelism (1 = serial, 0 = GOMAXPROCS workers).
+func benchAnalyzeQ4(b *testing.B, parallelism int) {
+	e := env(b)
+	q4 := bsbm.Q4()
+	dom, err := core.ExtractDomain(q4, e.BSBM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var points int
+	for i := 0; i < b.N; i++ {
+		a, err := core.Analyze(q4, e.BSBM, dom, core.AnalyzeOptions{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(a.Points)
+	}
+	b.ReportMetric(float64(points), "bindings")
+}
+
+// BenchmarkAnalyzeSerial is the baseline single-worker curation analysis.
+func BenchmarkAnalyzeSerial(b *testing.B) { benchAnalyzeQ4(b, 1) }
+
+// BenchmarkAnalyzeParallel fans the independent bindings out across
+// GOMAXPROCS workers with deterministic (byte-identical) output.
+func BenchmarkAnalyzeParallel(b *testing.B) { benchAnalyzeQ4(b, 0) }
+
 func BenchmarkDomainExtraction(b *testing.B) {
 	e := env(b)
 	q := snb.Q3()

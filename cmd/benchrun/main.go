@@ -35,22 +35,27 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		greedy  = flag.Bool("greedy", false, "use the greedy optimizer instead of DP")
 		merge   = flag.Bool("mergejoin", false, "use sort-merge joins for interior joins")
+		mat     = flag.Bool("materialize", false, "use the materializing engine instead of the streaming one")
+		push    = flag.Bool("pushfilters", false, "push single-variable filters below the joins (streaming engine)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *groups, *n, *seed, *greedy, *merge); err != nil {
+	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *groups, *n, *seed, *greedy, *merge, *mat, *push); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dataset, scale, query, mode string, groups, n int, seed int64, greedy, merge bool) error {
+func run(w io.Writer, dataset, scale, query, mode string, groups, n int, seed int64, greedy, merge, materialize, pushFilters bool) error {
 	st, tmpl, name, err := load(dataset, scale, query, seed)
 	if err != nil {
 		return err
 	}
-	opts := exec.Options{}
+	opts := exec.Options{PushFilters: pushFilters}
 	if merge {
 		opts.Join = exec.SortMergeJoin
+	}
+	if materialize {
+		opts.Mode = exec.Materializing
 	}
 	r := &workload.Runner{Store: st, Opts: opts, UseGreedy: greedy}
 	dom, err := core.ExtractDomain(tmpl, st)

@@ -8,7 +8,7 @@ import (
 
 func TestUniformTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bsbm", "test", "q4", "uniform", 3, 10, 1, false, false); err != nil {
+	if err := run(&buf, "bsbm", "test", "q4", "uniform", 3, 10, 1, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +21,7 @@ func TestUniformTable(t *testing.T) {
 
 func TestCuratedTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bsbm", "test", "q4", "curated", 2, 10, 1, false, false); err != nil {
+	if err := run(&buf, "bsbm", "test", "q4", "curated", 2, 10, 1, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,20 +32,39 @@ func TestCuratedTable(t *testing.T) {
 
 func TestGreedyAndMergeFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "snb", "test", "q2", "uniform", 2, 5, 1, true, true); err != nil {
+	if err := run(&buf, "snb", "test", "q2", "uniform", 2, 5, 1, true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBadArgs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bsbm", "test", "q4", "nope", 2, 5, 1, false, false); err == nil {
+	if err := run(&buf, "bsbm", "test", "q4", "nope", 2, 5, 1, false, false, false, false); err == nil {
 		t.Error("bad mode should fail")
 	}
-	if err := run(&buf, "marbles", "test", "q4", "uniform", 2, 5, 1, false, false); err == nil {
+	if err := run(&buf, "marbles", "test", "q4", "uniform", 2, 5, 1, false, false, false, false); err == nil {
 		t.Error("bad dataset should fail")
 	}
-	if err := run(&buf, "bsbm", "test", "q4", "uniform", 1, 5, 1, false, false); err == nil {
+	if err := run(&buf, "bsbm", "test", "q4", "uniform", 1, 5, 1, false, false, false, false); err == nil {
 		t.Error("single group should fail")
+	}
+}
+
+func TestEngineFlags(t *testing.T) {
+	// Materializing engine.
+	var buf bytes.Buffer
+	if err := run(&buf, "bsbm", "test", "q1", "uniform", 2, 5, 1, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Group 1") {
+		t.Fatalf("output wrong:\n%s", buf.String())
+	}
+	// Streaming with filter pushdown (snb q3 has a FILTER).
+	buf.Reset()
+	if err := run(&buf, "snb", "test", "q3", "uniform", 2, 5, 1, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Group 1") {
+		t.Fatalf("output wrong:\n%s", buf.String())
 	}
 }

@@ -37,26 +37,48 @@ func (b *bindFlags) Set(v string) error {
 	return nil
 }
 
+// config collects the command-line options.
+type config struct {
+	dataPath    string
+	queryStr    string
+	queryFile   string
+	binds       []string
+	explain     bool
+	greedy      bool
+	sampling    bool
+	materialize bool
+	mergeJoin   bool
+	pushFilters bool
+	maxRows     int
+}
+
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "N-Triples (.nt) or snapshot file (required)")
-		queryStr  = flag.String("query", "", "query text")
-		queryFile = flag.String("queryfile", "", "file containing the query")
-		explain   = flag.Bool("explain", false, "print the optimized plan tree")
-		greedy    = flag.Bool("greedy", false, "use the greedy optimizer")
-		sampling  = flag.Bool("sampling", false, "use the sampling cardinality estimator")
-		maxRows   = flag.Int("maxrows", 50, "result rows to print (0 = all)")
-		binds     bindFlags
+		cfg   config
+		binds bindFlags
 	)
+	flag.StringVar(&cfg.dataPath, "data", "", "N-Triples (.nt) or snapshot file (required)")
+	flag.StringVar(&cfg.queryStr, "query", "", "query text")
+	flag.StringVar(&cfg.queryFile, "queryfile", "", "file containing the query")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the optimized logical and physical plan trees")
+	flag.BoolVar(&cfg.greedy, "greedy", false, "use the greedy optimizer")
+	flag.BoolVar(&cfg.sampling, "sampling", false, "use the sampling cardinality estimator")
+	flag.BoolVar(&cfg.materialize, "materialize", false, "use the materializing engine instead of the streaming one")
+	flag.BoolVar(&cfg.mergeJoin, "mergejoin", false, "use sort-merge joins for interior joins")
+	flag.BoolVar(&cfg.pushFilters, "pushfilters", false, "push single-variable filters below the joins (streaming engine)")
+	flag.IntVar(&cfg.maxRows, "maxrows", 50, "result rows to print (0 = all)")
 	flag.Var(&binds, "bind", "parameter binding name=term (repeatable)")
 	flag.Parse()
-	if err := run(os.Stdout, *dataPath, *queryStr, *queryFile, binds, *explain, *greedy, *sampling, *maxRows); err != nil {
+	cfg.binds = binds
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "queryrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dataPath, queryStr, queryFile string, binds []string, explain, greedy, sampling bool, maxRows int) error {
+func run(w io.Writer, cfg config) error {
+	dataPath, queryStr, queryFile := cfg.dataPath, cfg.queryStr, cfg.queryFile
+	binds, explain, greedy, sampling, maxRows := cfg.binds, cfg.explain, cfg.greedy, cfg.sampling, cfg.maxRows
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -109,10 +131,26 @@ func run(w io.Writer, dataPath, queryStr, queryFile string, binds []string, expl
 	if err != nil {
 		return err
 	}
+	opts := exec.Options{PushFilters: cfg.pushFilters}
+	if cfg.materialize {
+		opts.Mode = exec.Materializing
+	}
+	if cfg.mergeJoin {
+		opts.Join = exec.SortMergeJoin
+	}
 	if explain {
 		fmt.Fprintf(w, "%s\n", p)
+		// The physical tree is only printed for the engine that executes
+		// it; the materializing engine evaluates the logical tree directly.
+		if opts.Mode == exec.Streaming {
+			phys, err := plan.Lower(c, p, exec.PhysOptions(opts))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "physical:\n%s", phys)
+		}
 	}
-	res, err := exec.Run(c, p, st, exec.Options{})
+	res, err := exec.Run(c, p, st, opts)
 	if err != nil {
 		return err
 	}

@@ -32,7 +32,7 @@ func writeTestData(t *testing.T) string {
 func TestQueryOverNTriples(t *testing.T) {
 	data := writeTestData(t)
 	var buf bytes.Buffer
-	err := run(&buf, data, `SELECT ?n WHERE { ?p <http://x/name> ?n . } ORDER BY ?n`, "", nil, false, false, false, 0)
+	err := run(&buf, config{dataPath: data, queryStr: `SELECT ?n WHERE { ?p <http://x/name> ?n . } ORDER BY ?n`})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +49,8 @@ func TestQueryOverNTriples(t *testing.T) {
 func TestQueryWithBindAndExplain(t *testing.T) {
 	data := writeTestData(t)
 	var buf bytes.Buffer
-	err := run(&buf, data, `SELECT ?x WHERE { %who <http://x/knows> ?x . }`, "",
-		[]string{"who=<http://x/a>"}, true, false, false, 0)
+	err := run(&buf, config{dataPath: data, queryStr: `SELECT ?x WHERE { %who <http://x/knows> ?x . }`,
+		binds: []string{"who=<http://x/a>"}, explain: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +78,8 @@ func TestQueryOverSnapshot(t *testing.T) {
 	}
 	f.Close()
 	var buf bytes.Buffer
-	err = run(&buf, path, `PREFIX b: <http://bsbm.example.org/>
-SELECT ?p WHERE { ?p b:label ?l . } LIMIT 7`, "", nil, false, false, false, 3)
+	err = run(&buf, config{dataPath: path, queryStr: `PREFIX b: <http://bsbm.example.org/>
+SELECT ?p WHERE { ?p b:label ?l . } LIMIT 7`, maxRows: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestQueryFileAndModes(t *testing.T) {
 		{false, false}, {true, false}, {false, true},
 	} {
 		var buf bytes.Buffer
-		if err := run(&buf, data, "", qf, nil, false, mode.greedy, mode.sampling, 0); err != nil {
+		if err := run(&buf, config{dataPath: data, queryFile: qf, greedy: mode.greedy, sampling: mode.sampling}); err != nil {
 			t.Fatalf("mode %+v: %v", mode, err)
 		}
 		if !strings.Contains(buf.String(), "1 rows") {
@@ -111,25 +111,65 @@ func TestQueryFileAndModes(t *testing.T) {
 func TestErrors(t *testing.T) {
 	data := writeTestData(t)
 	var buf bytes.Buffer
-	if err := run(&buf, "", "q", "", nil, false, false, false, 0); err == nil {
+	if err := run(&buf, config{queryStr: "q"}); err == nil {
 		t.Error("missing data should fail")
 	}
-	if err := run(&buf, data, "", "", nil, false, false, false, 0); err == nil {
+	if err := run(&buf, config{dataPath: data}); err == nil {
 		t.Error("missing query should fail")
 	}
-	if err := run(&buf, data, "not a query", "", nil, false, false, false, 0); err == nil {
+	if err := run(&buf, config{dataPath: data, queryStr: "not a query"}); err == nil {
 		t.Error("bad query should fail")
 	}
-	if err := run(&buf, data, `SELECT * WHERE { ?s ?p %x . }`, "", nil, false, false, false, 0); err == nil {
+	if err := run(&buf, config{dataPath: data, queryStr: `SELECT * WHERE { ?s ?p %x . }`}); err == nil {
 		t.Error("unbound param should fail")
 	}
-	if err := run(&buf, data, `SELECT * WHERE { ?s ?p %x . }`, "", []string{"bogus"}, false, false, false, 0); err == nil {
+	if err := run(&buf, config{dataPath: data, queryStr: `SELECT * WHERE { ?s ?p %x . }`, binds: []string{"bogus"}}); err == nil {
 		t.Error("malformed bind should fail")
 	}
-	if err := run(&buf, data, `SELECT * WHERE { ?s ?p %x . }`, "", []string{"x=<unterminated"}, false, false, false, 0); err == nil {
+	if err := run(&buf, config{dataPath: data, queryStr: `SELECT * WHERE { ?s ?p %x . }`, binds: []string{"x=<unterminated"}}); err == nil {
 		t.Error("bad bind term should fail")
 	}
-	if err := run(&buf, "/nonexistent.nt", "q", "", nil, false, false, false, 0); err == nil {
+	if err := run(&buf, config{dataPath: "/nonexistent.nt", queryStr: "q"}); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func TestEngineModesAgree(t *testing.T) {
+	data := writeTestData(t)
+	src := `SELECT ?x WHERE { <http://x/a> <http://x/knows> ?x . ?x <http://x/knows> ?c . }`
+	var streaming, materializing, pushed bytes.Buffer
+	if err := run(&streaming, config{dataPath: data, queryStr: src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&materializing, config{dataPath: data, queryStr: src, materialize: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&pushed, config{dataPath: data, queryStr: src, pushFilters: true}); err != nil {
+		t.Fatal(err)
+	}
+	rows := func(out string) string {
+		// Strip the timing line (wall clock differs per run).
+		i := strings.Index(out, "\n")
+		return out[i:]
+	}
+	if rows(streaming.String()) != rows(materializing.String()) {
+		t.Fatalf("engines disagree:\n%s\nvs\n%s", streaming.String(), materializing.String())
+	}
+	if rows(streaming.String()) != rows(pushed.String()) {
+		t.Fatalf("pushdown changed results:\n%s\nvs\n%s", streaming.String(), pushed.String())
+	}
+}
+
+func TestExplainPrintsPhysicalPlan(t *testing.T) {
+	data := writeTestData(t)
+	var buf bytes.Buffer
+	err := run(&buf, config{dataPath: data, explain: true,
+		queryStr: `SELECT ?x WHERE { <http://x/a> <http://x/knows> ?x . ?x <http://x/knows> ?c . }`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "physical:") || !strings.Contains(out, "IndexScan") {
+		t.Fatalf("physical plan missing from explain output:\n%s", out)
 	}
 }

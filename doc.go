@@ -3,16 +3,29 @@
 //
 // The repository contains, from the ground up: an RDF data model and
 // N-Triples codec (internal/rdf), dictionary encoding (internal/dict), a
-// hexastore-style triple store with exact pattern cardinalities
-// (internal/store), a SPARQL-subset parser with %parameter templates
-// (internal/sparql), a Cout-based dynamic-programming query optimizer
-// (internal/plan), an executor with exact intermediate-result accounting
+// hexastore-style triple store with exact pattern cardinalities and
+// zero-copy batch range scans (internal/store), a SPARQL-subset parser
+// with %parameter templates (internal/sparql), a Cout-based
+// dynamic-programming query optimizer and a physical-plan lowering from
+// logical join trees to operator trees (internal/plan), a streaming
+// iterator executor with exact intermediate-result accounting plus the
+// materializing reference engine it is golden-tested against
 // (internal/exec), scaled-down BSBM and LDBC-SNB/S3G2 data generators
 // (internal/bsbm, internal/snb), statistics including Kolmogorov–Smirnov
 // and Pearson (internal/stats), and the paper's contribution — parameter
-// domain extraction, per-binding plan analysis, clustering into parameter
-// classes and curated samplers (internal/core).
+// domain extraction, parallel per-binding plan analysis, clustering into
+// parameter classes and curated samplers (internal/core).
+//
+// Query execution flows logical plan → physical plan → operator
+// execution: plan.Compile and plan.Optimize produce the Cout-optimal join
+// tree, plan.Lower fixes the physical operator choices (index scans,
+// index-nested-loop probes, hash/merge/cross joins, filter placement), and
+// exec runs the operator tree either streaming (batch-pull iterators,
+// default) or fully materializing — both with bit-identical results and
+// Cout/Work/Scanned accounting. See ARCHITECTURE.md for the layer map and
+// where each counter is maintained.
 //
 // bench_test.go in this package regenerates every empirical result of the
-// paper as a testing.B benchmark; cmd/repro prints them as tables.
+// paper as a testing.B benchmark (plus streaming-vs-materializing and
+// serial-vs-parallel comparisons); cmd/repro prints them as tables.
 package repro

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/sparql"
@@ -41,6 +44,12 @@ type AnalyzeOptions struct {
 	// UseGreedy switches the per-binding optimizer from exact DP to the
 	// greedy heuristic (for the ablation study).
 	UseGreedy bool
+	// Parallelism bounds the worker pool analyzing bindings. Bindings are
+	// independent (each is compiled and optimized against the immutable
+	// store), so they fan out across workers; results are written back by
+	// binding index, making the output byte-identical to a serial run.
+	// Zero means runtime.GOMAXPROCS(0); 1 forces serial analysis.
+	Parallelism int
 }
 
 // DefaultMaxBindings caps analysis work for large cross-product domains.
@@ -68,42 +77,109 @@ func Analyze(tmpl *sparql.Query, st *store.Store, dom *Domain, opts AnalyzeOptio
 	for i, idx := range indices {
 		bindings[i] = dom.At(idx)
 	}
-	if err := analyzeInto(a, tmpl, st, bindings, opts.UseGreedy); err != nil {
+	points, err := analyzeBindings(tmpl, st, bindings, opts)
+	if err != nil {
 		return nil, err
 	}
+	a.Points = append(a.Points, points...)
 	return a, nil
 }
 
-// analyzeInto optimizes the template per binding and appends the analysis
-// points to a.
-func analyzeInto(a *Analysis, tmpl *sparql.Query, st *store.Store, bindings []sparql.Binding, useGreedy bool) error {
-	est := plan.NewEstimator(st)
-	for i, b := range bindings {
-		bound, err := tmpl.Bind(b)
-		if err != nil {
-			return err
-		}
-		c, err := plan.Compile(bound, st)
-		if err != nil {
-			return err
-		}
-		var p *plan.Plan
-		if useGreedy {
-			p, err = plan.OptimizeGreedy(c, est)
-		} else {
-			p, err = plan.Optimize(c, est)
-		}
-		if err != nil {
-			return fmt.Errorf("core: optimizing binding %d: %w", i, err)
-		}
-		a.Points = append(a.Points, Point{
-			Binding:   b,
-			Signature: p.Signature,
-			Cost:      p.EstCost,
-			Card:      p.EstCard,
-		})
+// analyzeBindings optimizes the template once per binding, fanning the
+// independent bindings out across a bounded worker pool. Point i of the
+// result always corresponds to bindings[i], so the output is byte-identical
+// regardless of scheduling — parallel and serial runs agree exactly.
+func analyzeBindings(tmpl *sparql.Query, st *store.Store, bindings []sparql.Binding, opts AnalyzeOptions) ([]Point, error) {
+	points := make([]Point, len(bindings))
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return nil
+	if workers > len(bindings) {
+		workers = len(bindings)
+	}
+	if workers <= 1 {
+		est := plan.NewEstimator(st)
+		for i, b := range bindings {
+			p, err := analyzeOne(tmpl, st, est, b, opts.UseGreedy)
+			if err != nil {
+				return nil, fmt.Errorf("core: optimizing binding %d: %w", i, err)
+			}
+			points[i] = p
+		}
+		return points, nil
+	}
+	var (
+		next   atomic.Int64
+		minErr atomic.Int64 // lowest failing binding index so far
+		wg     sync.WaitGroup
+	)
+	minErr.Store(int64(len(bindings)))
+	errs := make([]error, len(bindings)) // each index written by one worker
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The estimator only reads immutable store statistics, but give
+			// each worker its own instance so future stateful estimators
+			// (caching, sampling) stay race-free.
+			est := plan.NewEstimator(st)
+			for {
+				i := int(next.Add(1)) - 1
+				// Workers abandon only indices at or above the lowest
+				// failure, so every lower index is still attempted and the
+				// reported error is exactly the serial run's, regardless of
+				// scheduling.
+				if i >= len(bindings) || int64(i) >= minErr.Load() {
+					return
+				}
+				p, err := analyzeOne(tmpl, st, est, bindings[i], opts.UseGreedy)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: optimizing binding %d: %w", i, err)
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+				points[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := int(minErr.Load()); idx < len(bindings) {
+		return nil, errs[idx]
+	}
+	return points, nil
+}
+
+// analyzeOne compiles and optimizes the template for one binding.
+func analyzeOne(tmpl *sparql.Query, st *store.Store, est plan.Model, b sparql.Binding, useGreedy bool) (Point, error) {
+	bound, err := tmpl.Bind(b)
+	if err != nil {
+		return Point{}, err
+	}
+	c, err := plan.Compile(bound, st)
+	if err != nil {
+		return Point{}, err
+	}
+	var p *plan.Plan
+	if useGreedy {
+		p, err = plan.OptimizeGreedy(c, est)
+	} else {
+		p, err = plan.Optimize(c, est)
+	}
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Binding:   b,
+		Signature: p.Signature,
+		Cost:      p.EstCost,
+		Card:      p.EstCard,
+	}, nil
 }
 
 // domainIndices returns the binding indices to analyze: all of them when

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bsbm"
+	"repro/internal/snb"
+)
+
+// TestAnalyzeParallelMatchesSerial: the worker pool writes points back by
+// binding index, so a parallel analysis must be byte-identical to the
+// serial one — including the parameter classes clustered from it.
+func TestAnalyzeParallelMatchesSerial(t *testing.T) {
+	st, _ := bsbmStore(t)
+	q4 := bsbm.Q4()
+	dom, err := ExtractDomain(q4, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Analyze(q4, st, dom, AnalyzeOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7} {
+		par, err := Analyze(q4, st, dom, AnalyzeOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Points, par.Points) {
+			t.Fatalf("parallelism %d: points differ from serial", workers)
+		}
+		if par.Exhaustive != serial.Exhaustive {
+			t.Fatalf("parallelism %d: exhaustive differs", workers)
+		}
+		cs, cp := Cluster(serial, ClusterOptions{}), Cluster(par, ClusterOptions{})
+		if !reflect.DeepEqual(cs.Classes, cp.Classes) {
+			t.Fatalf("parallelism %d: parameter classes differ from serial", workers)
+		}
+	}
+}
+
+// TestAnalyzeParallelSampledDomain: the deterministic subsample path must
+// also agree across parallelism levels.
+func TestAnalyzeParallelSampledDomain(t *testing.T) {
+	st, _ := snbStore(t)
+	q3 := snb.Q3()
+	serial, err := Analyze(q3, st, nil, AnalyzeOptions{MaxBindings: 60, Seed: 9, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Analyze(q3, st, nil, AnalyzeOptions{MaxBindings: 60, Seed: 9, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Points, par.Points) {
+		t.Fatal("sampled-domain points differ between serial and parallel")
+	}
+}
+
+// TestAnalyzeBindingsParallel: the explicit-binding path (joint domains)
+// goes through the same pool.
+func TestAnalyzeBindingsParallel(t *testing.T) {
+	st, _ := snbStore(t)
+	q1 := snb.Q1()
+	joint, err := ExtractJointDomain(q1, st, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := AnalyzeBindings(q1, st, joint.Bindings, AnalyzeOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnalyzeBindings(q1, st, joint.Bindings, AnalyzeOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Points, par.Points) {
+		t.Fatal("joint-domain points differ between serial and parallel")
+	}
+}
+
+// TestAnalyzeParallelErrorPropagates: a failing binding must surface an
+// error (not a panic or a silent zero Point) under parallelism.
+func TestAnalyzeParallelErrorPropagates(t *testing.T) {
+	st, _ := bsbmStore(t)
+	dom, err := ExtractDomain(bsbm.Q4(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := NewUniformSampler(dom, 1).Sample(16)
+	// An empty WHERE clause fails plan.Compile for every binding.
+	bad := *bsbm.Q4()
+	bad.Where = nil
+	for _, workers := range []int{1, 4} {
+		if _, err := AnalyzeBindings(&bad, st, bindings, AnalyzeOptions{Parallelism: workers}); err == nil {
+			t.Errorf("parallelism %d: expected error for empty template", workers)
+		}
+	}
+}

@@ -141,8 +141,10 @@ func AnalyzeBindings(tmpl *sparql.Query, st *store.Store, bindings []sparql.Bind
 		}
 	}
 	a := &Analysis{Template: tmpl, Exhaustive: exhaustive}
-	if err := analyzeInto(a, tmpl, st, use, opts.UseGreedy); err != nil {
+	points, err := analyzeBindings(tmpl, st, use, opts)
+	if err != nil {
 		return nil, err
 	}
+	a.Points = append(a.Points, points...)
 	return a, nil
 }

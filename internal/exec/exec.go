@@ -1,11 +1,21 @@
-// Package exec evaluates optimized query plans against a store. The
-// executor is fully materializing: every join produces its complete output,
-// and the sizes of all intermediate results are recorded — so the measured
-// Cout of a plan execution is exact, not estimated. It also accumulates a
-// deterministic "work" counter (tuples scanned, hashed, probed, emitted,
-// sorted) that serves as a noise-free runtime proxy alongside wall-clock
-// time. The paper's Cout-vs-runtime correlation (Section III) is
-// reproduced against both.
+// Package exec evaluates optimized query plans against a store, through
+// two engines that produce bit-identical results:
+//
+//   - The streaming engine (default) lowers the logical plan to a physical
+//     operator tree (plan.Lower) and pulls batches through iterator-style
+//     operators: index scans stream straight out of the hexastore,
+//     index-nested-loop probes and filters are fully pipelined, and only
+//     the inherently blocking operators (hash/merge/cross joins, ORDER BY)
+//     buffer their inputs.
+//   - The materializing engine (Options.Mode = Materializing) computes
+//     every join's complete output, as the original executor did; it is
+//     kept as the golden reference for equality testing.
+//
+// Both engines record the measured Cout of the execution exactly (the
+// sizes of all join outputs) and accumulate a deterministic "work" counter
+// (tuples scanned, hashed, probed, emitted, sorted) that serves as a
+// noise-free runtime proxy alongside wall-clock time. The paper's
+// Cout-vs-runtime correlation (Section III) is reproduced against both.
 package exec
 
 import (
@@ -29,9 +39,28 @@ const (
 	SortMergeJoin
 )
 
+// ExecMode selects the execution engine.
+type ExecMode uint8
+
+const (
+	// Streaming executes the lowered physical plan with batch-pull
+	// iterator operators (default).
+	Streaming ExecMode = iota
+	// Materializing computes every join's complete output before moving
+	// on — the original engine, kept as the golden reference.
+	Materializing
+)
+
 // Options configures execution.
 type Options struct {
 	Join JoinAlgorithm
+	Mode ExecMode
+	// PushFilters evaluates single-variable filters at the lowest operator
+	// whose schema covers them (streaming engine only). It prunes
+	// intermediate results early, so measured Cout shrinks and is no
+	// longer comparable to the unpushed plans; final rows are unchanged.
+	// Off by default to keep the paper's cost accounting exact.
+	PushFilters bool
 }
 
 // Result is the outcome of one query execution.
@@ -68,19 +97,19 @@ type executor struct {
 	scan int
 }
 
-// Run executes the plan p for compiled query c against st.
+// Run executes the plan p for compiled query c against st with the engine
+// selected by opts.Mode. The two engines return bit-identical Results
+// (including the Cout/Work/Scanned accounting) for the same options.
 func Run(c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	start := time.Now()
 	ex := &executor{st: st, opts: opts}
-	rel, err := ex.eval(p.Root)
-	if err != nil {
-		return nil, err
+	var rel *relation
+	var err error
+	if opts.Mode == Materializing {
+		rel, err = ex.runMaterializing(c, p)
+	} else {
+		rel, err = ex.runStreaming(c, p)
 	}
-	rel, err = ex.applyFilters(rel, c.Query.Filters)
-	if err != nil {
-		return nil, err
-	}
-	rel, err = ex.finish(rel, c.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +121,21 @@ func Run(c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result
 		Duration: time.Since(start),
 		Scanned:  ex.scan,
 	}, nil
+}
+
+// runMaterializing is the original engine: evaluate the logical join tree
+// bottom-up with full intermediate materialization, then apply filters and
+// the ORDER BY / projection / DISTINCT / LIMIT epilogue.
+func (ex *executor) runMaterializing(c *plan.Compiled, p *plan.Plan) (*relation, error) {
+	rel, err := ex.eval(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	rel, err = ex.applyFilters(rel, c.Query.Filters)
+	if err != nil {
+		return nil, err
+	}
+	return ex.finish(rel, c.Query)
 }
 
 func (ex *executor) eval(n *plan.Node) (*relation, error) {
@@ -155,87 +199,17 @@ func (ex *executor) evalJoin(n *plan.Node) (*relation, error) {
 // triple pattern via index nested loops: per outer row, the shared
 // variables are bound into the pattern and the store is probed. When no
 // variable is shared (a cross product) it falls back to materializing the
-// leaf.
+// leaf. The probe plumbing (buildProbePlan) is shared with the streaming
+// probe operator.
 func (ex *executor) joinWithLeaf(outer *relation, leaf *plan.CompiledPattern) *relation {
-	// Map leaf positions to outer columns (shared) or output columns (new).
-	posVar := [3]sparql.Var{leaf.VarS, leaf.VarP, leaf.VarO}
-	type binding struct {
-		pos      int // 0=S,1=P,2=O
-		outerCol int
-	}
-	var bindings []binding
-	anyShared := false
-	for pos, v := range posVar {
-		if v == "" {
-			continue
-		}
-		if ci := outer.colIndex(v); ci >= 0 {
-			bindings = append(bindings, binding{pos: pos, outerCol: ci})
-			anyShared = true
-		}
-	}
-	if !anyShared || leaf.Missing {
+	pp := buildProbePlan(outer.vars, leaf)
+	if !pp.anyShared || leaf.Missing {
 		// Cross product (or empty leaf): materialize and defer to join.
 		return ex.join(outer, ex.scanLeaf(leaf))
 	}
-	// New output columns: leaf vars not bound by the outer side, first
-	// occurrence position each.
-	vars := append([]sparql.Var(nil), outer.vars...)
-	type newCol struct {
-		pos int
-	}
-	var newCols []newCol
-	var checks [][2]int // leaf-internal repeated unshared vars
-	firstPos := map[sparql.Var]int{}
-	for pos, v := range posVar {
-		if v == "" {
-			continue
-		}
-		if outer.colIndex(v) >= 0 {
-			continue
-		}
-		if fp, seen := firstPos[v]; seen {
-			checks = append(checks, [2]int{fp, pos})
-			continue
-		}
-		firstPos[v] = pos
-		vars = append(vars, v)
-		newCols = append(newCols, newCol{pos: pos})
-	}
-	get := func(t store.IDTriple, pos int) dict.ID {
-		switch pos {
-		case 0:
-			return t.S
-		case 1:
-			return t.P
-		default:
-			return t.O
-		}
-	}
-	out := &relation{vars: vars}
+	out := &relation{vars: pp.outVars}
 	for _, row := range outer.rows {
-		pat := leaf.Pat
-		conflict := false
-		for _, b := range bindings {
-			v := row[b.outerCol]
-			switch b.pos {
-			case 0:
-				if pat.S != dict.None && pat.S != v {
-					conflict = true
-				}
-				pat.S = v
-			case 1:
-				if pat.P != dict.None && pat.P != v {
-					conflict = true
-				}
-				pat.P = v
-			default:
-				if pat.O != dict.None && pat.O != v {
-					conflict = true
-				}
-				pat.O = v
-			}
-		}
+		pat, conflict := pp.bind(row)
 		ex.work++ // index probe
 		if conflict {
 			continue
@@ -244,29 +218,17 @@ func (ex *executor) joinWithLeaf(outer *relation, leaf *plan.CompiledPattern) *r
 		ex.scan += len(matches)
 		ex.work += float64(len(matches))
 		for _, m := range matches {
-			ok := true
-			for _, ch := range checks {
-				if get(m, ch[0]) != get(m, ch[1]) {
-					ok = false
-					break
-				}
+			if nr := pp.row(row, m); nr != nil {
+				out.rows = append(out.rows, nr)
 			}
-			if !ok {
-				continue
-			}
-			nr := make([]dict.ID, 0, len(vars))
-			nr = append(nr, row...)
-			for _, nc := range newCols {
-				nr = append(nr, get(m, nc.pos))
-			}
-			out.rows = append(out.rows, nr)
 		}
 	}
 	return out
 }
 
 // scanLeaf materializes a triple-pattern scan into a relation over the
-// pattern's variables. Repeated variables (e.g. ?x ?p ?x) are enforced.
+// pattern's variables. Repeated variables (e.g. ?x ?p ?x) are enforced by
+// the extraction plan shared with the streaming scan operator.
 func (ex *executor) scanLeaf(cp *plan.CompiledPattern) *relation {
 	rel := &relation{vars: cp.Vars()}
 	if cp.Missing {
@@ -275,56 +237,13 @@ func (ex *executor) scanLeaf(cp *plan.CompiledPattern) *relation {
 	matches, _ := ex.st.Match(cp.Pat)
 	ex.scan += len(matches)
 	ex.work += float64(len(matches))
-	// Column extraction plan: for each output var, its source position.
-	type src struct {
-		col int
-		pos int // 0=S,1=P,2=O
-	}
-	var srcs []src
-	var checks [][2]int // positions that must be equal (repeated vars)
-	posVar := [3]sparql.Var{cp.VarS, cp.VarP, cp.VarO}
-	for ci, v := range rel.vars {
-		first := -1
-		for pos, pv := range posVar {
-			if pv != v {
-				continue
-			}
-			if first == -1 {
-				first = pos
-				srcs = append(srcs, src{col: ci, pos: pos})
-			} else {
-				checks = append(checks, [2]int{first, pos})
-			}
-		}
-	}
-	get := func(t store.IDTriple, pos int) dict.ID {
-		switch pos {
-		case 0:
-			return t.S
-		case 1:
-			return t.P
-		default:
-			return t.O
-		}
-	}
+	sp := buildScanPlan(cp, rel.vars)
 	rows := make([][]dict.ID, 0, len(matches))
 	width := len(rel.vars)
 	for _, m := range matches {
-		ok := true
-		for _, ch := range checks {
-			if get(m, ch[0]) != get(m, ch[1]) {
-				ok = false
-				break
-			}
+		if row := sp.row(m, width); row != nil {
+			rows = append(rows, row)
 		}
-		if !ok {
-			continue
-		}
-		row := make([]dict.ID, width)
-		for _, s := range srcs {
-			row[s.col] = get(m, s.pos)
-		}
-		rows = append(rows, row)
 	}
 	rel.rows = rows
 	return rel

@@ -324,8 +324,15 @@ func TestAgainstNaiveOracle(t *testing.T) {
 	for _, src := range queries {
 		q := sparql.MustParse(src)
 		want := naiveEval(st, q)
-		for _, alg := range []JoinAlgorithm{HashJoin, SortMergeJoin} {
-			res, _, err := Query(q, st, Options{Join: alg})
+		for _, opts := range []Options{
+			{Join: HashJoin, Mode: Streaming},
+			{Join: SortMergeJoin, Mode: Streaming},
+			{Join: HashJoin, Mode: Materializing},
+			{Join: SortMergeJoin, Mode: Materializing},
+			{Join: HashJoin, Mode: Streaming, PushFilters: true},
+		} {
+			alg := opts.Join
+			res, _, err := Query(q, st, opts)
 			if err != nil {
 				t.Fatalf("%s: %v", src, err)
 			}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 
 	"repro/internal/dict"
@@ -10,24 +9,24 @@ import (
 	"repro/internal/sparql"
 )
 
-// applyFilters evaluates all FILTER comparisons over the relation. A filter
-// referencing a variable absent from the schema fails the query (SPARQL
-// would treat it as an error/unbound; for benchmark workloads it is a bug).
-func (ex *executor) applyFilters(rel *relation, filters []sparql.Filter) (*relation, error) {
-	if len(filters) == 0 {
-		return rel, nil
-	}
-	type compiled struct {
-		leftCol, rightCol   int // -1 when the side is a constant
-		leftTerm, rightTerm rdf.Term
-		op                  sparql.CompareOp
-	}
-	cs := make([]compiled, 0, len(filters))
+// compiledFilter is one FILTER comparison resolved against a schema:
+// variable sides carry a column index, constant sides a term.
+type compiledFilter struct {
+	leftCol, rightCol   int // -1 when the side is a constant
+	leftTerm, rightTerm rdf.Term
+	op                  sparql.CompareOp
+}
+
+// compileFilters resolves filters against a schema. A filter referencing a
+// variable absent from the schema fails the query (SPARQL would treat it
+// as an error/unbound; for benchmark workloads it is a bug).
+func compileFilters(vars []sparql.Var, filters []sparql.Filter) ([]compiledFilter, error) {
+	cs := make([]compiledFilter, 0, len(filters))
 	for _, f := range filters {
-		c := compiled{leftCol: -1, rightCol: -1, op: f.Op}
+		c := compiledFilter{leftCol: -1, rightCol: -1, op: f.Op}
 		switch f.Left.Kind {
 		case sparql.NodeVar:
-			c.leftCol = rel.colIndex(f.Left.Var)
+			c.leftCol = varIndexOf(vars, f.Left.Var)
 			if c.leftCol < 0 {
 				return nil, fmt.Errorf("exec: filter references unbound variable ?%s", f.Left.Var)
 			}
@@ -38,7 +37,7 @@ func (ex *executor) applyFilters(rel *relation, filters []sparql.Filter) (*relat
 		}
 		switch f.Right.Kind {
 		case sparql.NodeVar:
-			c.rightCol = rel.colIndex(f.Right.Var)
+			c.rightCol = varIndexOf(vars, f.Right.Var)
 			if c.rightCol < 0 {
 				return nil, fmt.Errorf("exec: filter references unbound variable ?%s", f.Right.Var)
 			}
@@ -49,25 +48,40 @@ func (ex *executor) applyFilters(rel *relation, filters []sparql.Filter) (*relat
 		}
 		cs = append(cs, c)
 	}
+	return cs, nil
+}
+
+// evalFilters reports whether row passes every compiled filter.
+func evalFilters(d *dict.Dict, cs []compiledFilter, row []dict.ID) bool {
+	for _, c := range cs {
+		lt, rt := c.leftTerm, c.rightTerm
+		if c.leftCol >= 0 {
+			lt = d.Decode(row[c.leftCol])
+		}
+		if c.rightCol >= 0 {
+			rt = d.Decode(row[c.rightCol])
+		}
+		if !evalCompare(lt, c.op, rt) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyFilters evaluates all FILTER comparisons over the relation.
+func (ex *executor) applyFilters(rel *relation, filters []sparql.Filter) (*relation, error) {
+	if len(filters) == 0 {
+		return rel, nil
+	}
+	cs, err := compileFilters(rel.vars, filters)
+	if err != nil {
+		return nil, err
+	}
 	d := ex.st.Dict()
 	out := rel.rows[:0:0]
 	for _, row := range rel.rows {
 		ex.work++
-		keep := true
-		for _, c := range cs {
-			lt, rt := c.leftTerm, c.rightTerm
-			if c.leftCol >= 0 {
-				lt = d.Decode(row[c.leftCol])
-			}
-			if c.rightCol >= 0 {
-				rt = d.Decode(row[c.rightCol])
-			}
-			if !evalCompare(lt, c.op, rt) {
-				keep = false
-				break
-			}
-		}
-		if keep {
+		if evalFilters(d, cs, row) {
 			out = append(out, row)
 		}
 	}
@@ -144,32 +158,9 @@ func (ex *executor) finish(rel *relation, q *sparql.Query) (*relation, error) {
 	// ORDER BY runs on the pre-projection schema (sort keys need not be
 	// selected).
 	if len(q.OrderBy) > 0 {
-		keys := make([]int, len(q.OrderBy))
-		for i, k := range q.OrderBy {
-			ci := rel.colIndex(k.Var)
-			if ci < 0 {
-				return nil, fmt.Errorf("exec: ORDER BY unbound variable ?%s", k.Var)
-			}
-			keys[i] = ci
+		if err := sortRowsByKeys(ex.st.Dict(), rel, q.OrderBy); err != nil {
+			return nil, err
 		}
-		d := ex.st.Dict()
-		sort.SliceStable(rel.rows, func(i, j int) bool {
-			for x, ci := range keys {
-				a, b := rel.rows[i][ci], rel.rows[j][ci]
-				if a == b {
-					continue
-				}
-				c := compareOrder(d, a, b)
-				if c == 0 {
-					continue
-				}
-				if q.OrderBy[x].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
 		ex.work += float64(len(rel.rows))
 	}
 	// Projection.
@@ -197,11 +188,7 @@ func (ex *executor) finish(rel *relation, q *sparql.Query) (*relation, error) {
 		out := rel.rows[:0:0]
 		var keyBuf []byte
 		for _, row := range rel.rows {
-			keyBuf = keyBuf[:0]
-			for _, id := range row {
-				keyBuf = append(keyBuf,
-					byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-			}
+			keyBuf = appendRowKey(keyBuf[:0], row)
 			k := string(keyBuf)
 			if !seen[k] {
 				seen[k] = true
@@ -215,6 +202,16 @@ func (ex *executor) finish(rel *relation, q *sparql.Query) (*relation, error) {
 		rel = &relation{vars: rel.vars, rows: rel.rows[:q.Limit]}
 	}
 	return rel, nil
+}
+
+// appendRowKey encodes a row as a fixed-width byte key for DISTINCT
+// deduplication (4 bytes per 32-bit dictionary ID). Both engines must use
+// this one encoding so they dedup identically.
+func appendRowKey(buf []byte, row []dict.ID) []byte {
+	for _, id := range row {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
 }
 
 // compareOrder orders two dictionary IDs by their terms: numeric literals

@@ -1,0 +1,685 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/plan"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// This file implements the streaming engine: a tree of batch-pull
+// operators built from a lowered physical plan. Leaf scans stream straight
+// out of the hexastore indexes, index-nested-loop probes and filters are
+// fully pipelined, and only the inherently blocking operators (hash /
+// sort-merge / cross joins, ORDER BY) buffer their inputs — exactly the
+// inputs the materializing engine buffers too. Every operator maintains
+// the executor's Cout/Work/Scanned counters with the same per-tuple rules
+// as the materializing path, so the two engines produce bit-identical
+// Result values (Rows, Cout, Work, Scanned) for the same physical plan.
+
+// streamBatch is the number of rows moved per operator pull. Batches
+// amortize the per-call overhead while keeping pipeline memory bounded.
+const streamBatch = 1024
+
+// operator is a pull-based physical operator. next returns the next batch
+// of rows, or nil when exhausted. Batches are never empty.
+type operator interface {
+	vars() []sparql.Var
+	next() ([][]dict.ID, error)
+}
+
+// PhysOptions returns the lowering options the streaming engine uses for
+// opts — the single place Options maps onto plan.PhysOptions, shared with
+// EXPLAIN-style tooling so the printed physical plan is the executed one.
+func PhysOptions(opts Options) plan.PhysOptions {
+	physJoin := plan.PhysJoinHash
+	if opts.Join == SortMergeJoin {
+		physJoin = plan.PhysJoinMerge
+	}
+	return plan.PhysOptions{Join: physJoin, PushFilters: opts.PushFilters}
+}
+
+// runStreaming lowers the plan and drains the operator tree.
+func (ex *executor) runStreaming(c *plan.Compiled, p *plan.Plan) (*relation, error) {
+	phys, err := plan.Lower(c, p, PhysOptions(ex.opts))
+	if err != nil {
+		return nil, err
+	}
+	root, err := ex.build(phys.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{vars: root.vars()}
+	for {
+		batch, err := root.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return out, nil
+		}
+		out.rows = append(out.rows, batch...)
+	}
+}
+
+// build constructs the operator for one physical node.
+func (ex *executor) build(n *plan.PhysNode) (operator, error) {
+	switch n.Op {
+	case plan.PhysIndexScan:
+		return newScanOp(ex, n.Leaf), nil
+	case plan.PhysIndexProbe:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return newProbeOp(ex, child, n.Leaf), nil
+	case plan.PhysHashJoin, plan.PhysMergeJoin, plan.PhysCross:
+		left, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &joinOp{ex: ex, op: n.Op, left: left, right: right}, nil
+	case plan.PhysFilter:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := compileFilters(child.vars(), n.Filters)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{ex: ex, child: child, filters: cs}, nil
+	case plan.PhysOrder:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return &orderOp{ex: ex, child: child, keys: n.Keys}, nil
+	case plan.PhysProject:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, len(n.Vars))
+		for i, v := range n.Vars {
+			ci := varIndexOf(child.vars(), v)
+			if ci < 0 {
+				return nil, fmt.Errorf("exec: SELECT of unbound variable ?%s", v)
+			}
+			cols[i] = ci
+		}
+		return &projectOp{child: child, outVars: n.Vars, cols: cols}, nil
+	case plan.PhysDistinct:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{ex: ex, child: child, seen: map[string]bool{}}, nil
+	case plan.PhysLimit:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, limit: n.Limit}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown physical operator %v", n.Op)
+	}
+}
+
+func varIndexOf(vars []sparql.Var, v sparql.Var) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// tripleValue extracts position pos (0=S,1=P,2=O) of t.
+func tripleValue(t store.IDTriple, pos int) dict.ID {
+	switch pos {
+	case 0:
+		return t.S
+	case 1:
+		return t.P
+	default:
+		return t.O
+	}
+}
+
+// --- Shared leaf plumbing ----------------------------------------------------
+
+// scanPlan is the column-extraction plan of a leaf scan: one source
+// position per output column, plus equality checks between positions
+// holding the same (repeated) variable. Both engines build their scan
+// rows through this one plan so their semantics cannot diverge.
+type scanPlan struct {
+	srcs   []scanSrc
+	checks [][2]int
+}
+
+type scanSrc struct {
+	col int
+	pos int
+}
+
+// buildScanPlan derives the extraction plan for cp's output schema.
+func buildScanPlan(cp *plan.CompiledPattern, outVars []sparql.Var) scanPlan {
+	var sp scanPlan
+	posVar := [3]sparql.Var{cp.VarS, cp.VarP, cp.VarO}
+	for ci, v := range outVars {
+		first := -1
+		for pos, pv := range posVar {
+			if pv != v {
+				continue
+			}
+			if first == -1 {
+				first = pos
+				sp.srcs = append(sp.srcs, scanSrc{col: ci, pos: pos})
+			} else {
+				sp.checks = append(sp.checks, [2]int{first, pos})
+			}
+		}
+	}
+	return sp
+}
+
+// row extracts one output row from a matched triple, or nil when a
+// repeated-variable check fails.
+func (sp *scanPlan) row(m store.IDTriple, width int) []dict.ID {
+	for _, ch := range sp.checks {
+		if tripleValue(m, ch[0]) != tripleValue(m, ch[1]) {
+			return nil
+		}
+	}
+	row := make([]dict.ID, width)
+	for _, s := range sp.srcs {
+		row[s.col] = tripleValue(m, s.pos)
+	}
+	return row
+}
+
+// probePlan is the per-outer-row plan of an index nested-loop join:
+// which outer columns bind which pattern positions, which leaf positions
+// become new output columns, and which leaf-internal repeated variables
+// must agree. Shared by both engines.
+type probePlan struct {
+	pat       store.Pattern
+	outVars   []sparql.Var
+	bindings  []probeBinding
+	newCols   []int    // leaf positions appended as new output columns
+	checks    [][2]int // leaf-internal repeated unshared variables
+	anyShared bool
+}
+
+type probeBinding struct {
+	pos      int
+	outerCol int
+}
+
+// buildProbePlan derives the probe plan of cp driven by the outer schema.
+func buildProbePlan(outer []sparql.Var, cp *plan.CompiledPattern) probePlan {
+	pp := probePlan{pat: cp.Pat}
+	posVar := [3]sparql.Var{cp.VarS, cp.VarP, cp.VarO}
+	pp.outVars = append(pp.outVars, outer...)
+	firstPos := map[sparql.Var]int{}
+	for pos, v := range posVar {
+		if v == "" {
+			continue
+		}
+		if ci := varIndexOf(outer, v); ci >= 0 {
+			pp.bindings = append(pp.bindings, probeBinding{pos: pos, outerCol: ci})
+			pp.anyShared = true
+			continue
+		}
+		if fp, seen := firstPos[v]; seen {
+			pp.checks = append(pp.checks, [2]int{fp, pos})
+			continue
+		}
+		firstPos[v] = pos
+		pp.outVars = append(pp.outVars, v)
+		pp.newCols = append(pp.newCols, pos)
+	}
+	return pp
+}
+
+// bind substitutes the outer row's shared columns into the pattern,
+// reporting a conflict when a bound constant disagrees with the row.
+func (pp *probePlan) bind(row []dict.ID) (store.Pattern, bool) {
+	pat := pp.pat
+	conflict := false
+	for _, b := range pp.bindings {
+		v := row[b.outerCol]
+		switch b.pos {
+		case 0:
+			if pat.S != dict.None && pat.S != v {
+				conflict = true
+			}
+			pat.S = v
+		case 1:
+			if pat.P != dict.None && pat.P != v {
+				conflict = true
+			}
+			pat.P = v
+		default:
+			if pat.O != dict.None && pat.O != v {
+				conflict = true
+			}
+			pat.O = v
+		}
+	}
+	return pat, conflict
+}
+
+// row combines the outer row with a matched triple, or returns nil when a
+// leaf-internal repeated-variable check fails.
+func (pp *probePlan) row(outer []dict.ID, m store.IDTriple) []dict.ID {
+	for _, ch := range pp.checks {
+		if tripleValue(m, ch[0]) != tripleValue(m, ch[1]) {
+			return nil
+		}
+	}
+	nr := make([]dict.ID, 0, len(pp.outVars))
+	nr = append(nr, outer...)
+	for _, pos := range pp.newCols {
+		nr = append(nr, tripleValue(m, pos))
+	}
+	return nr
+}
+
+// --- IndexScan ---------------------------------------------------------------
+
+// scanOp streams a triple pattern out of the store index in batches,
+// applying repeated-variable checks and extracting the pattern's variable
+// columns — the streaming form of scanLeaf.
+type scanOp struct {
+	ex      *executor
+	outVars []sparql.Var
+	cursor  *store.Scan // nil for missing leaves (empty)
+	plan    scanPlan
+}
+
+func newScanOp(ex *executor, cp *plan.CompiledPattern) *scanOp {
+	op := &scanOp{ex: ex, outVars: cp.Vars()}
+	if cp.Missing {
+		return op
+	}
+	op.cursor = ex.st.Scan(cp.Pat)
+	op.plan = buildScanPlan(cp, op.outVars)
+	return op
+}
+
+func (op *scanOp) vars() []sparql.Var { return op.outVars }
+
+func (op *scanOp) next() ([][]dict.ID, error) {
+	if op.cursor == nil {
+		return nil, nil
+	}
+	width := len(op.outVars)
+	for {
+		triples := op.cursor.Next(streamBatch)
+		if triples == nil {
+			return nil, nil
+		}
+		op.ex.scan += len(triples)
+		op.ex.work += float64(len(triples))
+		rows := make([][]dict.ID, 0, len(triples))
+		for _, m := range triples {
+			if row := op.plan.row(m, width); row != nil {
+				rows = append(rows, row)
+			}
+		}
+		if len(rows) > 0 {
+			return rows, nil
+		}
+	}
+}
+
+// --- IndexNestedLoopProbe ----------------------------------------------------
+
+// probeOp is the pipelined index-nested-loop join: per row of the child,
+// shared variables are bound into the leaf pattern and the store is
+// probed — the streaming form of joinWithLeaf's main path.
+type probeOp struct {
+	ex    *executor
+	child operator
+	plan  probePlan
+}
+
+func newProbeOp(ex *executor, child operator, cp *plan.CompiledPattern) *probeOp {
+	return &probeOp{ex: ex, child: child, plan: buildProbePlan(child.vars(), cp)}
+}
+
+func (op *probeOp) vars() []sparql.Var { return op.plan.outVars }
+
+func (op *probeOp) next() ([][]dict.ID, error) {
+	for {
+		batch, err := op.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return nil, nil
+		}
+		var out [][]dict.ID
+		for _, row := range batch {
+			pat, conflict := op.plan.bind(row)
+			op.ex.work++ // index probe
+			if conflict {
+				continue
+			}
+			matches, _ := op.ex.st.Match(pat)
+			op.ex.scan += len(matches)
+			op.ex.work += float64(len(matches))
+			for _, m := range matches {
+				if nr := op.plan.row(row, m); nr != nil {
+					out = append(out, nr)
+				}
+			}
+		}
+		if len(out) > 0 {
+			op.ex.cout += float64(len(out)) // join output counts toward Cout
+			return out, nil
+		}
+	}
+}
+
+// --- Hash / sort-merge / cross joins -----------------------------------------
+
+// joinOp is the pipeline breaker for composite-composite joins: it drains
+// both children (each itself a stream) into buffered relations, runs the
+// shared join kernel, and streams the result out in batches. This buffers
+// exactly what the materializing engine buffers for the same plan shape.
+type joinOp struct {
+	ex          *executor
+	op          plan.PhysOp
+	left, right operator
+	joined      bool
+	outVars     []sparql.Var
+	rows        [][]dict.ID
+	pos         int
+}
+
+func (op *joinOp) vars() []sparql.Var {
+	if op.outVars == nil {
+		l, _ := outputSchema(
+			&relation{vars: op.left.vars()},
+			&relation{vars: op.right.vars()},
+		)
+		op.outVars = l
+	}
+	return op.outVars
+}
+
+func drain(child operator) (*relation, error) {
+	rel := &relation{vars: child.vars()}
+	for {
+		batch, err := child.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return rel, nil
+		}
+		rel.rows = append(rel.rows, batch...)
+	}
+}
+
+func (op *joinOp) next() ([][]dict.ID, error) {
+	if !op.joined {
+		op.joined = true
+		l, err := drain(op.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := drain(op.right)
+		if err != nil {
+			return nil, err
+		}
+		var out *relation
+		shared := sharedCols(l, r)
+		switch {
+		case op.op == plan.PhysCross || len(shared) == 0:
+			out = op.ex.crossProduct(l, r)
+		case op.op == plan.PhysMergeJoin:
+			out = op.ex.mergeJoin(l, r, shared)
+		default:
+			out = op.ex.hashJoin(l, r, shared)
+		}
+		op.ex.cout += float64(len(out.rows))
+		op.outVars = out.vars
+		op.rows = out.rows
+	}
+	if op.pos >= len(op.rows) {
+		return nil, nil
+	}
+	end := op.pos + streamBatch
+	if end > len(op.rows) {
+		end = len(op.rows)
+	}
+	batch := op.rows[op.pos:end]
+	op.pos = end
+	return batch, nil
+}
+
+// --- Filter ------------------------------------------------------------------
+
+// filterOp applies compiled FILTER comparisons to each batch.
+type filterOp struct {
+	ex      *executor
+	child   operator
+	filters []compiledFilter
+}
+
+func (op *filterOp) vars() []sparql.Var { return op.child.vars() }
+
+func (op *filterOp) next() ([][]dict.ID, error) {
+	d := op.ex.st.Dict()
+	for {
+		batch, err := op.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return nil, nil
+		}
+		out := batch[:0:0]
+		for _, row := range batch {
+			op.ex.work++
+			if evalFilters(d, op.filters, row) {
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+// --- Order (blocking) --------------------------------------------------------
+
+// orderOp drains its input and sorts it with the same stable comparator as
+// the materializing finish step.
+type orderOp struct {
+	ex     *executor
+	child  operator
+	keys   []sparql.OrderKey
+	sorted bool
+	rows   [][]dict.ID
+	pos    int
+}
+
+func (op *orderOp) vars() []sparql.Var { return op.child.vars() }
+
+func (op *orderOp) next() ([][]dict.ID, error) {
+	if !op.sorted {
+		op.sorted = true
+		rel, err := drain(op.child)
+		if err != nil {
+			return nil, err
+		}
+		if err := sortRowsByKeys(op.ex.st.Dict(), rel, op.keys); err != nil {
+			return nil, err
+		}
+		op.ex.work += float64(len(rel.rows))
+		op.rows = rel.rows
+	}
+	if op.pos >= len(op.rows) {
+		return nil, nil
+	}
+	end := op.pos + streamBatch
+	if end > len(op.rows) {
+		end = len(op.rows)
+	}
+	batch := op.rows[op.pos:end]
+	op.pos = end
+	return batch, nil
+}
+
+// sortRowsByKeys stably sorts rel.rows by the ORDER BY keys, exactly as
+// the materializing finish step does.
+func sortRowsByKeys(d *dict.Dict, rel *relation, keys []sparql.OrderKey) error {
+	cols := make([]int, len(keys))
+	for i, k := range keys {
+		ci := rel.colIndex(k.Var)
+		if ci < 0 {
+			return fmt.Errorf("exec: ORDER BY unbound variable ?%s", k.Var)
+		}
+		cols[i] = ci
+	}
+	sort.SliceStable(rel.rows, func(i, j int) bool {
+		for x, ci := range cols {
+			a, b := rel.rows[i][ci], rel.rows[j][ci]
+			if a == b {
+				continue
+			}
+			c := compareOrder(d, a, b)
+			if c == 0 {
+				continue
+			}
+			if keys[x].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// --- Project -----------------------------------------------------------------
+
+// projectOp maps each row onto the SELECT columns.
+type projectOp struct {
+	child   operator
+	outVars []sparql.Var
+	cols    []int
+}
+
+func (op *projectOp) vars() []sparql.Var { return op.outVars }
+
+func (op *projectOp) next() ([][]dict.ID, error) {
+	batch, err := op.child.next()
+	if err != nil || batch == nil {
+		return nil, err
+	}
+	out := make([][]dict.ID, len(batch))
+	for i, row := range batch {
+		pr := make([]dict.ID, len(op.cols))
+		for j, ci := range op.cols {
+			pr[j] = row[ci]
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// --- Distinct ----------------------------------------------------------------
+
+// distinctOp keeps the first occurrence of each row, streaming survivors.
+type distinctOp struct {
+	ex     *executor
+	child  operator
+	seen   map[string]bool
+	keyBuf []byte
+}
+
+func (op *distinctOp) vars() []sparql.Var { return op.child.vars() }
+
+func (op *distinctOp) next() ([][]dict.ID, error) {
+	for {
+		batch, err := op.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return nil, nil
+		}
+		out := batch[:0:0]
+		for _, row := range batch {
+			op.keyBuf = appendRowKey(op.keyBuf[:0], row)
+			k := string(op.keyBuf)
+			if !op.seen[k] {
+				op.seen[k] = true
+				out = append(out, row)
+			}
+			op.ex.work++
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+// --- Limit -------------------------------------------------------------------
+
+// limitOp truncates the stream to limit rows. The child is still drained
+// to exhaustion after the limit is reached: the materializing engine
+// computes everything before truncating, and measured Cout/Work/Scanned
+// must stay bit-identical between the two engines.
+type limitOp struct {
+	child   operator
+	limit   int
+	emitted int
+	drained bool
+}
+
+func (op *limitOp) vars() []sparql.Var { return op.child.vars() }
+
+func (op *limitOp) next() ([][]dict.ID, error) {
+	for op.emitted < op.limit {
+		batch, err := op.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			op.drained = true
+			return nil, nil
+		}
+		if rest := op.limit - op.emitted; len(batch) > rest {
+			batch = batch[:rest]
+		}
+		op.emitted += len(batch)
+		return batch, nil
+	}
+	if !op.drained {
+		op.drained = true
+		for {
+			batch, err := op.child.next()
+			if err != nil {
+				return nil, err
+			}
+			if batch == nil {
+				break
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bsbm"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/snb"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// The golden-equality suite: over every BSBM and SNB query template, with
+// curated parameter bindings drawn from the paper's own pipeline (domain
+// extraction → per-binding analysis → clustering), the streaming engine
+// must agree with the materializing engine bit-for-bit — same Vars, same
+// Rows in the same order, same measured Cout, Work and Scanned — for both
+// interior-join algorithms.
+
+type goldenTemplate struct {
+	name string
+	tmpl *sparql.Query
+	snb  bool // template runs against the SNB store (else BSBM)
+}
+
+func goldenTemplates() []goldenTemplate {
+	return []goldenTemplate{
+		{"bsbm-q1", bsbm.Q1(), false},
+		{"bsbm-q2", bsbm.Q2(), false},
+		{"bsbm-q4", bsbm.Q4(), false},
+		{"snb-q1", snb.Q1(), true},
+		{"snb-q2", snb.Q2(), true},
+		{"snb-q3", snb.Q3(), true},
+	}
+}
+
+// curatedBindings draws at least min bindings via the curation pipeline:
+// every parameter class contributes members, topped up with uniform draws.
+func curatedBindings(t *testing.T, tmpl *sparql.Query, st *store.Store, min int) []sparql.Binding {
+	t.Helper()
+	dom, err := core.ExtractDomain(tmpl, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(tmpl, st, dom, core.AnalyzeOptions{MaxBindings: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.Cluster(a, core.ClusterOptions{})
+	var out []sparql.Binding
+	for _, cq := range core.Curate("q", cl, 11) {
+		out = append(out, cq.Sampler.Sample(2)...)
+	}
+	if len(out) < min {
+		out = append(out, core.NewUniformSampler(dom, 13).Sample(min-len(out))...)
+	}
+	return out
+}
+
+func equalResults(a, b *exec.Result) error {
+	if len(a.Vars) != len(b.Vars) {
+		return fmt.Errorf("vars %v vs %v", a.Vars, b.Vars)
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return fmt.Errorf("vars %v vs %v", a.Vars, b.Vars)
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("%d rows vs %d rows", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return fmt.Errorf("row %d col %d: %d vs %d", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	if a.Cout != b.Cout {
+		return fmt.Errorf("Cout %v vs %v", a.Cout, b.Cout)
+	}
+	if a.Work != b.Work {
+		return fmt.Errorf("Work %v vs %v", a.Work, b.Work)
+	}
+	if a.Scanned != b.Scanned {
+		return fmt.Errorf("Scanned %d vs %d", a.Scanned, b.Scanned)
+	}
+	return nil
+}
+
+func TestGoldenStreamingEqualsMaterializing(t *testing.T) {
+	env := sharedEnv(t)
+	for _, g := range goldenTemplates() {
+		st := env.BSBM
+		if g.snb {
+			st = env.SNB
+		}
+		bindings := curatedBindings(t, g.tmpl, st, 3)
+		if len(bindings) < 3 {
+			t.Fatalf("%s: only %d curated bindings", g.name, len(bindings))
+		}
+		for bi, b := range bindings {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			for _, alg := range []exec.JoinAlgorithm{exec.HashJoin, exec.SortMergeJoin} {
+				sres, splan, err := exec.Query(bound, st, exec.Options{Join: alg, Mode: exec.Streaming})
+				if err != nil {
+					t.Fatalf("%s binding %d streaming: %v", g.name, bi, err)
+				}
+				mres, mplan, err := exec.Query(bound, st, exec.Options{Join: alg, Mode: exec.Materializing})
+				if err != nil {
+					t.Fatalf("%s binding %d materializing: %v", g.name, bi, err)
+				}
+				if splan.Signature != mplan.Signature {
+					t.Fatalf("%s binding %d: plans diverge: %s vs %s", g.name, bi, splan.Signature, mplan.Signature)
+				}
+				if err := equalResults(sres, mres); err != nil {
+					t.Errorf("%s binding %d (alg %d): %v", g.name, bi, alg, err)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenPushdownPreservesResults: with filter pushdown enabled the
+// final result rows stay identical on every template; only the cost
+// accounting may shrink (never grow).
+func TestGoldenPushdownPreservesResults(t *testing.T) {
+	env := sharedEnv(t)
+	for _, g := range goldenTemplates() {
+		st := env.BSBM
+		if g.snb {
+			st = env.SNB
+		}
+		for bi, b := range curatedBindings(t, g.tmpl, st, 3) {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			plain, _, err := exec.Query(bound, st, exec.Options{Mode: exec.Streaming})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pushed, _, err := exec.Query(bound, st, exec.Options{Mode: exec.Streaming, PushFilters: true})
+			if err != nil {
+				t.Fatalf("%s binding %d pushed: %v", g.name, bi, err)
+			}
+			if len(plain.Rows) != len(pushed.Rows) {
+				t.Fatalf("%s binding %d: pushdown changed result size %d vs %d",
+					g.name, bi, len(plain.Rows), len(pushed.Rows))
+			}
+			for i := range plain.Rows {
+				for j := range plain.Rows[i] {
+					if plain.Rows[i][j] != pushed.Rows[i][j] {
+						t.Fatalf("%s binding %d: pushdown changed row %d", g.name, bi, i)
+					}
+				}
+			}
+			if pushed.Cout > plain.Cout {
+				t.Errorf("%s binding %d: pushdown increased Cout %v > %v", g.name, bi, pushed.Cout, plain.Cout)
+			}
+		}
+	}
+}
+
+// TestGoldenParallelCuration: the curation pipeline returns byte-identical
+// parameter classes whether the per-binding analysis is serial or fanned
+// out across workers — on both benchmark stores.
+func TestGoldenParallelCuration(t *testing.T) {
+	env := sharedEnv(t)
+	cases := []struct {
+		name string
+		tmpl *sparql.Query
+		st   *store.Store
+	}{
+		{"bsbm-q4", bsbm.Q4(), env.BSBM},
+		{"snb-q3", snb.Q3(), env.SNB},
+	}
+	for _, c := range cases {
+		dom, err := core.ExtractDomain(c.tmpl, c.st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := core.Analyze(c.tmpl, c.st, dom, core.AnalyzeOptions{MaxBindings: 120, Seed: 3, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := core.Analyze(c.tmpl, c.st, dom, core.AnalyzeOptions{MaxBindings: 120, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := core.Cluster(serial, core.ClusterOptions{})
+		pc := core.Cluster(parallel, core.ClusterOptions{})
+		if len(sc.Classes) != len(pc.Classes) {
+			t.Fatalf("%s: class count differs: %d vs %d", c.name, len(sc.Classes), len(pc.Classes))
+		}
+		for i := range sc.Classes {
+			a, b := sc.Classes[i], pc.Classes[i]
+			if a.Signature != b.Signature || a.Band != b.Band ||
+				a.CostLo != b.CostLo || a.CostHi != b.CostHi || len(a.Points) != len(b.Points) {
+				t.Fatalf("%s: class %d differs between serial and parallel", c.name, i)
+			}
+			for j := range a.Points {
+				if a.Points[j].Signature != b.Points[j].Signature || a.Points[j].Cost != b.Points[j].Cost {
+					t.Fatalf("%s: class %d point %d differs", c.name, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,489 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sparql"
+)
+
+// This file implements the physical-plan layer: lowering of an optimized
+// logical join tree (Node) into a tree of physical operators that an
+// executor can run directly. The lowering fixes every execution decision
+// that the materializing executor used to make on the fly — operator
+// selection (index scan, index-nested-loop probe, hash/sort-merge/cross
+// join), output schemas, build-side choices for leaf-leaf joins, and the
+// placement of FILTER, ORDER BY, projection, DISTINCT and LIMIT — so that
+// the streaming and materializing engines execute the *same* physical plan
+// and produce bit-identical results and accounting.
+
+// PhysOp identifies a physical operator kind.
+type PhysOp uint8
+
+// Physical operator kinds.
+const (
+	// PhysIndexScan streams one triple pattern out of the store index.
+	PhysIndexScan PhysOp = iota
+	// PhysIndexProbe is an index nested-loop join: per row of Left, the
+	// shared variables are bound into Leaf and the store is probed.
+	PhysIndexProbe
+	// PhysHashJoin joins Left and Right by hashing the smaller input.
+	PhysHashJoin
+	// PhysMergeJoin joins Left and Right by sorting both on the join key.
+	PhysMergeJoin
+	// PhysCross is a cross product (no shared variables).
+	PhysCross
+	// PhysFilter applies FILTER comparisons to Left's output.
+	PhysFilter
+	// PhysOrder sorts Left's output by the ORDER BY keys (blocking).
+	PhysOrder
+	// PhysProject projects Left's output onto the SELECT columns.
+	PhysProject
+	// PhysDistinct removes duplicate rows, keeping first occurrences.
+	PhysDistinct
+	// PhysLimit truncates the output to Limit rows.
+	PhysLimit
+)
+
+// String names the operator for plan rendering.
+func (op PhysOp) String() string {
+	switch op {
+	case PhysIndexScan:
+		return "IndexScan"
+	case PhysIndexProbe:
+		return "IndexNestedLoopProbe"
+	case PhysHashJoin:
+		return "HashJoin"
+	case PhysMergeJoin:
+		return "SortMergeJoin"
+	case PhysCross:
+		return "CrossProduct"
+	case PhysFilter:
+		return "Filter"
+	case PhysOrder:
+		return "Order"
+	case PhysProject:
+		return "Project"
+	case PhysDistinct:
+		return "Distinct"
+	case PhysLimit:
+		return "Limit"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// PhysJoin selects the join algorithm for interior (non-index) joins.
+// It mirrors exec's JoinAlgorithm without importing it (plan is below exec
+// in the dependency order).
+type PhysJoin uint8
+
+const (
+	// PhysJoinHash builds a hash table on the smaller input (default).
+	PhysJoinHash PhysJoin = iota
+	// PhysJoinMerge sorts both inputs on the join key and merges.
+	PhysJoinMerge
+)
+
+// PhysOptions configures lowering.
+type PhysOptions struct {
+	// Join is the algorithm for interior joins (both children composite).
+	Join PhysJoin
+	// PushFilters evaluates single-variable filters at the lowest operator
+	// whose schema covers them instead of after the full join tree. This
+	// changes measured Cout (intermediate results shrink earlier), so it is
+	// off by default to keep the paper's cost accounting exact.
+	PushFilters bool
+}
+
+// PhysNode is one node of a physical operator tree.
+type PhysNode struct {
+	Op          PhysOp
+	Leaf        *CompiledPattern  // PhysIndexScan, PhysIndexProbe (the probed pattern)
+	Left, Right *PhysNode         // children; unary operators use Left only
+	Vars        []sparql.Var      // output schema
+	Filters     []sparql.Filter   // PhysFilter
+	Keys        []sparql.OrderKey // PhysOrder
+	Limit       int               // PhysLimit
+	Card        float64           // estimated output cardinality (join/scan nodes)
+}
+
+// Physical is a complete lowered plan: the operator tree plus the lowering
+// options it was built with.
+type Physical struct {
+	Root    *PhysNode
+	Options PhysOptions
+}
+
+// String renders the operator tree for debugging and EXPLAIN output.
+func (p *Physical) String() string {
+	var b strings.Builder
+	p.Root.render(&b, 0)
+	return b.String()
+}
+
+func (n *PhysNode) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s", indent, n.Op)
+	switch n.Op {
+	case PhysIndexScan, PhysIndexProbe:
+		fmt.Fprintf(b, " p%d %v", n.Leaf.Index, n.Leaf.Pat)
+	case PhysFilter:
+		for _, f := range n.Filters {
+			fmt.Fprintf(b, " %s", f)
+		}
+	case PhysLimit:
+		fmt.Fprintf(b, " %d", n.Limit)
+	}
+	fmt.Fprintf(b, " -> %v\n", n.Vars)
+	if n.Left != nil {
+		n.Left.render(b, depth+1)
+	}
+	if n.Right != nil {
+		n.Right.render(b, depth+1)
+	}
+}
+
+// Lower translates the optimized logical plan p for compiled query c into a
+// physical operator tree. Operator selection replicates the materializing
+// executor's rules exactly:
+//
+//   - a leaf is an IndexScan;
+//   - a join with exactly one composite child probes the leaf child per
+//     composite row (index nested loops), provided they share a variable
+//     and the leaf's constants all exist in the dictionary;
+//   - a leaf-leaf join scans the smaller side (by estimated cardinality,
+//     ties to the left child) and probes the other;
+//   - remaining joins use the configured algorithm when the children share
+//     a variable and a cross product otherwise.
+//
+// The epilogue appends Filter (all filters, or only those not pushed down),
+// Order, Project, Distinct and Limit in the exact order the materializing
+// executor applies them. Filters, ORDER BY keys and SELECT columns naming
+// variables absent from the covering schema are lowering errors.
+func Lower(c *Compiled, p *Plan, opts PhysOptions) (*Physical, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("plan: nil plan")
+	}
+	l := &lowerer{opts: opts}
+	root, err := l.lower(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	root, err = l.epilogue(root, c.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &Physical{Root: root, Options: opts}, nil
+}
+
+type lowerer struct {
+	opts PhysOptions
+}
+
+func (l *lowerer) lower(n *Node) (*PhysNode, error) {
+	if n == nil {
+		return nil, fmt.Errorf("plan: nil logical node")
+	}
+	if n.IsLeaf() {
+		return l.scan(n), nil
+	}
+	left, right := n.Left, n.Right
+	switch {
+	case right.IsLeaf() && !left.IsLeaf():
+		outer, err := l.lower(left)
+		if err != nil {
+			return nil, err
+		}
+		return l.probe(outer, right, n.Card), nil
+	case left.IsLeaf() && !right.IsLeaf():
+		outer, err := l.lower(right)
+		if err != nil {
+			return nil, err
+		}
+		return l.probe(outer, left, n.Card), nil
+	case left.IsLeaf() && right.IsLeaf():
+		// Scan the smaller (by estimated cardinality), probe the other.
+		if left.Card <= right.Card {
+			return l.probe(l.scan(left), right, n.Card), nil
+		}
+		return l.probe(l.scan(right), left, n.Card), nil
+	default:
+		lp, err := l.lower(left)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := l.lower(right)
+		if err != nil {
+			return nil, err
+		}
+		return l.joinNode(lp, rp, n.Card), nil
+	}
+}
+
+func (l *lowerer) scan(n *Node) *PhysNode {
+	return &PhysNode{
+		Op:   PhysIndexScan,
+		Leaf: n.Leaf,
+		Vars: n.Leaf.Vars(),
+		Card: n.Card,
+	}
+}
+
+// probe lowers a join whose one child is a bare leaf. When the leaf shares
+// a variable with the outer schema (and its constants resolve), the join is
+// an index-nested-loop probe; otherwise it degrades to a regular join of
+// the outer with a full scan of the leaf — exactly the materializing
+// executor's fallback.
+func (l *lowerer) probe(outer *PhysNode, leafNode *Node, card float64) *PhysNode {
+	cp := leafNode.Leaf
+	anyShared := false
+	for _, v := range cp.Vars() {
+		if varIndex(outer.Vars, v) >= 0 {
+			anyShared = true
+			break
+		}
+	}
+	if !anyShared || cp.Missing {
+		return l.joinNode(outer, l.scan(leafNode), card)
+	}
+	return &PhysNode{
+		Op:   PhysIndexProbe,
+		Leaf: cp,
+		Left: outer,
+		Vars: probeSchema(outer.Vars, cp),
+		Card: card,
+	}
+}
+
+// joinNode builds the physical join of two composite inputs: a cross
+// product when they share no variable, the configured algorithm otherwise.
+func (l *lowerer) joinNode(left, right *PhysNode, card float64) *PhysNode {
+	op := PhysCross
+	if schemasShareVar(left.Vars, right.Vars) {
+		if l.opts.Join == PhysJoinMerge {
+			op = PhysMergeJoin
+		} else {
+			op = PhysHashJoin
+		}
+	}
+	return &PhysNode{
+		Op:    op,
+		Left:  left,
+		Right: right,
+		Vars:  joinSchema(left.Vars, right.Vars),
+		Card:  card,
+	}
+}
+
+// epilogue appends the post-join operators in the materializing executor's
+// order: FILTER, ORDER BY, projection, DISTINCT, LIMIT.
+func (l *lowerer) epilogue(root *PhysNode, q *sparql.Query) (*PhysNode, error) {
+	rootFilters := q.Filters
+	if l.opts.PushFilters {
+		var err error
+		root, rootFilters, err = pushFilters(root, q.Filters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rootFilters) > 0 {
+		for _, f := range rootFilters {
+			if err := checkFilterCovered(f, root.Vars); err != nil {
+				return nil, err
+			}
+		}
+		root = &PhysNode{Op: PhysFilter, Left: root, Vars: root.Vars, Filters: rootFilters, Card: root.Card}
+	}
+	if len(q.OrderBy) > 0 {
+		for _, k := range q.OrderBy {
+			if varIndex(root.Vars, k.Var) < 0 {
+				return nil, fmt.Errorf("plan: ORDER BY unbound variable ?%s", k.Var)
+			}
+		}
+		root = &PhysNode{Op: PhysOrder, Left: root, Vars: root.Vars, Keys: q.OrderBy, Card: root.Card}
+	}
+	if len(q.Select) > 0 {
+		for _, v := range q.Select {
+			if varIndex(root.Vars, v) < 0 {
+				return nil, fmt.Errorf("plan: SELECT of unbound variable ?%s", v)
+			}
+		}
+		root = &PhysNode{Op: PhysProject, Left: root, Vars: append([]sparql.Var(nil), q.Select...), Card: root.Card}
+	}
+	if q.Distinct {
+		root = &PhysNode{Op: PhysDistinct, Left: root, Vars: root.Vars, Card: root.Card}
+	}
+	if q.Limit > 0 {
+		root = &PhysNode{Op: PhysLimit, Left: root, Vars: root.Vars, Limit: q.Limit, Card: root.Card}
+	}
+	return root, nil
+}
+
+// pushFilters places every single-variable filter at each lowest operator
+// that introduces its variable (scans and probes), returning the filters
+// that must remain at the root: multi-variable comparisons, plus any filter
+// whose variable no operator covers (left to the root filter so the
+// executor reports the same unbound-variable error as the materializing
+// path).
+func pushFilters(root *PhysNode, filters []sparql.Filter) (*PhysNode, []sparql.Filter, error) {
+	var rest []sparql.Filter
+	for _, f := range filters {
+		v, single, err := singleFilterVar(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !single {
+			rest = append(rest, f)
+			continue
+		}
+		newRoot, placed := placeFilter(root, f, v)
+		if !placed {
+			// Variable not produced anywhere: keep at root so execution
+			// fails with the standard unbound-variable error.
+			rest = append(rest, f)
+			continue
+		}
+		root = newRoot
+	}
+	return root, rest, nil
+}
+
+// singleFilterVar reports whether f references exactly one distinct
+// variable, and which. Parameters are a lowering error (Compile rejects
+// them earlier; this guards direct callers).
+func singleFilterVar(f sparql.Filter) (sparql.Var, bool, error) {
+	var vars []sparql.Var
+	for _, n := range []sparql.Node{f.Left, f.Right} {
+		switch n.Kind {
+		case sparql.NodeVar:
+			vars = append(vars, n.Var)
+		case sparql.NodeParam:
+			return "", false, fmt.Errorf("plan: filter contains unbound parameter %%%s", n.Param)
+		}
+	}
+	if len(vars) == 1 {
+		return vars[0], true, nil
+	}
+	if len(vars) == 2 && vars[0] == vars[1] {
+		return vars[0], true, nil
+	}
+	return "", false, nil
+}
+
+// placeFilter wraps, on every branch, the lowest operator introducing v in
+// a PhysFilter evaluating f. It reports whether at least one operator was
+// wrapped.
+func placeFilter(n *PhysNode, f sparql.Filter, v sparql.Var) (*PhysNode, bool) {
+	if varIndex(n.Vars, v) < 0 {
+		return n, false
+	}
+	wrap := func(x *PhysNode) *PhysNode {
+		// Merge into an existing filter wrapper to keep trees shallow.
+		if x.Op == PhysFilter {
+			x.Filters = append(x.Filters, f)
+			return x
+		}
+		return &PhysNode{Op: PhysFilter, Left: x, Vars: x.Vars, Filters: []sparql.Filter{f}, Card: x.Card}
+	}
+	switch n.Op {
+	case PhysIndexScan:
+		return wrap(n), true
+	case PhysIndexProbe:
+		// If the outer side already covers v, push below; otherwise the
+		// probe introduces it, so filter the probe's output.
+		if varIndex(n.Left.Vars, v) >= 0 {
+			left, ok := placeFilter(n.Left, f, v)
+			n.Left = left
+			return n, ok
+		}
+		return wrap(n), true
+	case PhysHashJoin, PhysMergeJoin, PhysCross:
+		placedAny := false
+		if varIndex(n.Left.Vars, v) >= 0 {
+			left, ok := placeFilter(n.Left, f, v)
+			n.Left, placedAny = left, ok
+		}
+		if varIndex(n.Right.Vars, v) >= 0 {
+			right, ok := placeFilter(n.Right, f, v)
+			n.Right = right
+			placedAny = placedAny || ok
+		}
+		if !placedAny {
+			return wrap(n), true
+		}
+		return n, true
+	default:
+		// Unary epilogue operators are built after pushdown.
+		left, ok := placeFilter(n.Left, f, v)
+		n.Left = left
+		if !ok {
+			return wrap(n), true
+		}
+		return n, true
+	}
+}
+
+// checkFilterCovered verifies every variable of f is in the schema,
+// mirroring the executor's unbound-variable errors.
+func checkFilterCovered(f sparql.Filter, vars []sparql.Var) error {
+	for _, n := range []sparql.Node{f.Left, f.Right} {
+		switch n.Kind {
+		case sparql.NodeVar:
+			if varIndex(vars, n.Var) < 0 {
+				return fmt.Errorf("plan: filter references unbound variable ?%s", n.Var)
+			}
+		case sparql.NodeParam:
+			return fmt.Errorf("plan: filter contains unbound parameter %%%s", n.Param)
+		}
+	}
+	return nil
+}
+
+// varIndex returns the column index of v in vars, or -1.
+func varIndex(vars []sparql.Var, v sparql.Var) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// probeSchema is the output schema of an index probe: the outer columns
+// followed by the leaf's variables not bound by the outer side, in S,P,O
+// first-occurrence order.
+func probeSchema(outer []sparql.Var, cp *CompiledPattern) []sparql.Var {
+	out := append([]sparql.Var(nil), outer...)
+	seen := map[sparql.Var]bool{}
+	for _, v := range [3]sparql.Var{cp.VarS, cp.VarP, cp.VarO} {
+		if v == "" || varIndex(outer, v) >= 0 || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// joinSchema is the output schema of a binary join: all left columns, then
+// right columns not already present.
+func joinSchema(left, right []sparql.Var) []sparql.Var {
+	out := append([]sparql.Var(nil), left...)
+	for _, v := range right {
+		if varIndex(left, v) < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// schemasShareVar reports whether the schemas have a variable in common.
+func schemasShareVar(a, b []sparql.Var) bool {
+	for _, v := range a {
+		if varIndex(b, v) >= 0 {
+			return true
+		}
+	}
+	return false
+}

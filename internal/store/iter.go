@@ -1,0 +1,40 @@
+package store
+
+// Scan is a batch cursor over the triples matching one pattern. It walks
+// the contiguous range of the best-fitting permutation index without
+// copying: every batch is a subslice of the index, valid for the lifetime
+// of the store. Streaming executors pull batches with Next instead of
+// materializing the full match slice, so leaf-scan memory is O(batch)
+// rather than O(result).
+type Scan struct {
+	rest []IDTriple
+	ord  order
+}
+
+// Scan opens a cursor over the triples matching pat. The triples are
+// delivered in the sort order of the chosen index — the same order Match
+// returns them in, so Scan and Match are interchangeable for equal results.
+func (s *Store) Scan(pat Pattern) *Scan {
+	matches, o := s.Match(pat)
+	return &Scan{rest: matches, ord: o}
+}
+
+// Next returns the next batch of at most max triples as a zero-copy
+// subslice of the index, or nil when the cursor is exhausted. max <= 0
+// returns everything remaining in one batch.
+func (sc *Scan) Next(max int) []IDTriple {
+	if len(sc.rest) == 0 {
+		return nil
+	}
+	if max <= 0 || max >= len(sc.rest) {
+		out := sc.rest
+		sc.rest = nil
+		return out
+	}
+	out := sc.rest[:max:max]
+	sc.rest = sc.rest[max:]
+	return out
+}
+
+// Remaining returns how many triples the cursor has not yet delivered.
+func (sc *Scan) Remaining() int { return len(sc.rest) }

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func buildIterStore(t *testing.T, n int) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		tr := rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(40))),
+			rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(5))),
+			rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(40))),
+		)
+		if err := b.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestScanMatchesMatch(t *testing.T) {
+	st := buildIterStore(t, 500)
+	pID, _ := st.Dict().Lookup(rdf.NewIRI("http://x/p1"))
+	for _, pat := range []Pattern{{}, {P: pID}, {S: 1}, {P: 999999}} {
+		want, _ := st.Match(pat)
+		for _, batchSize := range []int{0, 1, 3, 64, 100000} {
+			sc := st.Scan(pat)
+			var got []IDTriple
+			for {
+				batch := sc.Next(batchSize)
+				if batch == nil {
+					break
+				}
+				if batchSize > 0 && len(batch) > batchSize {
+					t.Fatalf("batch of %d exceeds max %d", len(batch), batchSize)
+				}
+				got = append(got, batch...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pat %v batch %d: got %d triples, want %d", pat, batchSize, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("pat %v batch %d: triple %d = %v, want %v (order must match Match)", pat, batchSize, i, got[i], want[i])
+				}
+			}
+			if sc.Remaining() != 0 {
+				t.Fatalf("remaining = %d after exhaustion", sc.Remaining())
+			}
+		}
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	st := buildIterStore(t, 10)
+	sc := st.Scan(Pattern{S: 123456})
+	if sc.Remaining() != 0 {
+		t.Fatalf("remaining = %d", sc.Remaining())
+	}
+	if batch := sc.Next(8); batch != nil {
+		t.Fatalf("batch = %v, want nil", batch)
+	}
+}
+
+func TestScanZeroCopy(t *testing.T) {
+	st := buildIterStore(t, 200)
+	want, _ := st.Match(Pattern{})
+	sc := st.Scan(Pattern{})
+	first := sc.Next(10)
+	if len(first) != 10 {
+		t.Fatalf("first batch = %d", len(first))
+	}
+	// Zero-copy: the batch must alias the index backing array.
+	if &first[0] != &want[0] {
+		t.Error("batch does not alias the index")
+	}
+	// The batch's capacity is clipped so appends cannot clobber the index.
+	if cap(first) != 10 {
+		t.Errorf("cap = %d, want 10 (three-index slice)", cap(first))
+	}
+}
