@@ -9,6 +9,8 @@ package repro
 // Pearson r) so `go test -bench=.` regenerates the entire evaluation.
 
 import (
+	"bytes"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -601,6 +603,82 @@ func BenchmarkUniformSampling(b *testing.B) {
 			b.Fatal("short sample")
 		}
 	}
+}
+
+// --- Store construction & snapshot load path ---------------------------------
+
+// benchBuild times index construction and statistics in isolation
+// (dictionary encoding and dedup hoisted out via Rebuild) at the given
+// parallelism over the small BSBM store.
+func benchBuild(b *testing.B, parallelism int) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := e.BSBM.Rebuild(store.BuildOptions{Parallelism: parallelism})
+		if st.Len() != e.BSBM.Len() {
+			b.Fatal("rebuild lost triples")
+		}
+	}
+	b.ReportMetric(float64(e.BSBM.Len()), "triples")
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	b.ReportMetric(float64(parallelism), "workers")
+}
+
+// BenchmarkBuildSerial is the old single-core path: six sorts and the
+// statistics passes run back to back.
+func BenchmarkBuildSerial(b *testing.B) { benchBuild(b, 1) }
+
+// BenchmarkBuildParallel sorts the permutations concurrently (bounded by
+// GOMAXPROCS) with statistics overlapped; output is byte-identical to the
+// serial build.
+func BenchmarkBuildParallel(b *testing.B) { benchBuild(b, 0) }
+
+// benchSnapshotLoad times ReadSnapshot over an in-memory snapshot of the
+// small BSBM store in the given format version, reporting the snapshot
+// size so v1-vs-v2 compactness is tracked alongside load time.
+func benchSnapshotLoad(b *testing.B, version int) {
+	e := env(b)
+	var buf bytes.Buffer
+	if err := e.BSBM.WriteSnapshotVersion(&buf, version); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.ReadSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Len() != e.BSBM.Len() {
+			b.Fatal("snapshot load lost triples")
+		}
+	}
+	b.ReportMetric(float64(len(raw)), "snapshot-bytes")
+}
+
+// BenchmarkSnapshotV1Load loads the legacy fixed-width format.
+func BenchmarkSnapshotV1Load(b *testing.B) { benchSnapshotLoad(b, 1) }
+
+// BenchmarkSnapshotV2Load loads the varint+delta format (the default).
+func BenchmarkSnapshotV2Load(b *testing.B) { benchSnapshotLoad(b, 2) }
+
+// BenchmarkSnapshotV2Write times serializing the small BSBM store in the
+// default format.
+func BenchmarkSnapshotV2Write(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.BSBM.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		n = buf.Len()
+	}
+	b.ReportMetric(float64(n), "snapshot-bytes")
 }
 
 func BenchmarkDatasetGenerationBSBM(b *testing.B) {

@@ -37,16 +37,17 @@ func main() {
 		merge   = flag.Bool("mergejoin", false, "use sort-merge joins for interior joins")
 		mat     = flag.Bool("materialize", false, "use the materializing engine instead of the streaming one")
 		push    = flag.Bool("pushfilters", false, "push single-variable filters below the joins (streaming engine)")
+		snap    = flag.String("snapshot", "", "load the store from this snapshot file (datagen -format snapshot) instead of generating")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *groups, *n, *seed, *greedy, *merge, *mat, *push); err != nil {
+	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *snap, *groups, *n, *seed, *greedy, *merge, *mat, *push); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dataset, scale, query, mode string, groups, n int, seed int64, greedy, merge, materialize, pushFilters bool) error {
-	st, tmpl, name, err := load(dataset, scale, query, seed)
+func run(w io.Writer, dataset, scale, query, mode, snapshot string, groups, n int, seed int64, greedy, merge, materialize, pushFilters bool) error {
+	st, tmpl, name, err := load(dataset, scale, query, seed, snapshot)
 	if err != nil {
 		return err
 	}
@@ -113,17 +114,36 @@ func run(w io.Writer, dataset, scale, query, mode string, groups, n int, seed in
 	}
 }
 
-func load(dataset, scale, query string, seed int64) (*store.Store, *sparql.Query, string, error) {
-	switch dataset {
-	case "bsbm":
-		cfg := bsbm.TestConfig()
-		if scale == "default" {
-			cfg = bsbm.DefaultConfig()
-		}
-		cfg.Seed = seed
-		st, _, err := bsbm.BuildStore(cfg)
+// load resolves the store and query template. With a snapshot path the
+// store is deserialized (through the shared parallel build path) instead of
+// regenerated, which skips dataset generation entirely; the dataset flag
+// still selects which template family the query name refers to.
+func load(dataset, scale, query string, seed int64, snapshot string) (*store.Store, *sparql.Query, string, error) {
+	var st *store.Store
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
 		if err != nil {
 			return nil, nil, "", err
+		}
+		st, err = store.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, "", err
+		}
+	}
+	switch dataset {
+	case "bsbm":
+		if st == nil {
+			cfg := bsbm.TestConfig()
+			if scale == "default" {
+				cfg = bsbm.DefaultConfig()
+			}
+			cfg.Seed = seed
+			var err error
+			st, _, err = bsbm.BuildStore(cfg)
+			if err != nil {
+				return nil, nil, "", err
+			}
 		}
 		switch query {
 		case "q1":
@@ -135,14 +155,17 @@ func load(dataset, scale, query string, seed int64) (*store.Store, *sparql.Query
 		}
 		return nil, nil, "", fmt.Errorf("unknown bsbm query %q", query)
 	case "snb":
-		cfg := snb.TestConfig()
-		if scale == "default" {
-			cfg = snb.DefaultConfig()
-		}
-		cfg.Seed = seed
-		st, _, err := snb.BuildStore(cfg)
-		if err != nil {
-			return nil, nil, "", err
+		if st == nil {
+			cfg := snb.TestConfig()
+			if scale == "default" {
+				cfg = snb.DefaultConfig()
+			}
+			cfg.Seed = seed
+			var err error
+			st, _, err = snb.BuildStore(cfg)
+			if err != nil {
+				return nil, nil, "", err
+			}
 		}
 		switch query {
 		case "q1":

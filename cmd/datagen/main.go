@@ -26,15 +26,16 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("out", "", "output file (default stdout)")
 		format  = flag.String("format", "nt", "output format: nt (N-Triples) | snapshot (binary store snapshot)")
+		snapVer = flag.Int("snapshot-version", 2, "snapshot format version: 2 (varint+delta, default) | 1 (fixed-width, legacy)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *seed, *out, *format); err != nil {
+	if err := run(*dataset, *scale, *seed, *out, *format, *snapVer); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, scale string, seed int64, out, format string) error {
+func run(dataset, scale string, seed int64, out, format string, snapVer int) error {
 	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -61,10 +62,10 @@ func run(dataset, scale string, seed int64, out, format string) error {
 			return err
 		}
 		st := b.Build()
-		if err := st.WriteSnapshot(w); err != nil {
+		if err := st.WriteSnapshotVersion(w, snapVer); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "datagen: wrote snapshot with %d triples\n", st.Len())
+		fmt.Fprintf(os.Stderr, "datagen: wrote v%d snapshot with %d triples\n", snapVer, st.Len())
 		return nil
 	default:
 		return fmt.Errorf("unknown format %q (want nt or snapshot)", format)

@@ -177,10 +177,10 @@ func run(w io.Writer, cfg config) error {
 	return nil
 }
 
-// loadStore sniffs the file format: store snapshots start with "RDFSNAP1",
-// anything else is treated as N-Triples. The sniffed prefix is stitched
-// back with io.MultiReader so non-seekable inputs (pipes, process
-// substitution) work too.
+// loadStore sniffs the file format: store snapshots start with "RDFSNAP"
+// plus a version digit, anything else is treated as N-Triples. The sniffed
+// prefix is stitched back with io.MultiReader so non-seekable inputs
+// (pipes, process substitution) work too.
 func loadStore(path string) (*store.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -190,7 +190,7 @@ func loadStore(path string) (*store.Store, error) {
 	var magic [8]byte
 	n, _ := io.ReadFull(f, magic[:])
 	r := io.MultiReader(bytes.NewReader(magic[:n]), f)
-	if n == 8 && string(magic[:]) == "RDFSNAP1" {
+	if n == 8 && strings.HasPrefix(string(magic[:]), "RDFSNAP") {
 		return store.ReadSnapshot(r)
 	}
 	b := store.NewBuilder()

@@ -28,15 +28,16 @@ func main() {
 		expList = flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,x5,x6,x7 or all")
 		scale   = flag.String("scale", "small", "scale preset: small | paper")
 		md      = flag.String("md", "", "also write Markdown report to this file")
+		cache   = flag.String("cache", "", "snapshot cache directory: reuse stores across runs instead of rebuilding them")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *expList, *scale, *md); err != nil {
+	if err := run(os.Stdout, *expList, *scale, *md, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, expList, scaleName, mdPath string) error {
+func run(w io.Writer, expList, scaleName, mdPath, cacheDir string) error {
 	var sc experiments.Scale
 	switch scaleName {
 	case "small":
@@ -55,7 +56,7 @@ func run(w io.Writer, expList, scaleName, mdPath string) error {
 	fmt.Fprintf(w, "generating datasets (scale=%s: BSBM %d products, SNB %d persons)...\n",
 		sc.Name, sc.BSBM.Products, sc.SNB.Persons)
 	start := time.Now()
-	env, err := experiments.NewEnv(sc)
+	env, err := experiments.NewEnvCached(sc, cacheDir)
 	if err != nil {
 		return err
 	}

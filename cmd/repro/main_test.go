@@ -10,7 +10,7 @@ import (
 
 func TestSubsetOfExperiments(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "e4", "small", ""); err != nil {
+	if err := run(&buf, "e4", "small", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -25,7 +25,7 @@ func TestSubsetOfExperiments(t *testing.T) {
 func TestMarkdownOutput(t *testing.T) {
 	md := filepath.Join(t.TempDir(), "report.md")
 	var buf bytes.Buffer
-	if err := run(&buf, "x5", "small", md); err != nil {
+	if err := run(&buf, "x5", "small", md, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(md)
@@ -39,7 +39,66 @@ func TestMarkdownOutput(t *testing.T) {
 
 func TestBadScale(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "all", "galactic", ""); err == nil {
+	if err := run(&buf, "all", "galactic", "", ""); err == nil {
 		t.Fatal("bad scale should fail")
+	}
+}
+
+// The snapshot cache must not change any experiment output: a cold run
+// (which writes the cache) and a warm run (which loads it) both match the
+// uncached run byte for byte.
+func TestCachedRunsMatchUncached(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "snapcache")
+	var uncached, cold, warm bytes.Buffer
+	if err := run(&uncached, "e4", "small", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&cold, "e4", "small", "", cache); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&warm, "e4", "small", "", cache); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the preamble lines containing wall-clock timings.
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var out []string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "generating datasets") || strings.HasPrefix(l, "datasets ready") {
+				continue
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	if strip(cold.String()) != strip(uncached.String()) {
+		t.Fatalf("cold cached run differs from uncached:\n%s\nvs\n%s", cold.String(), uncached.String())
+	}
+	if strip(warm.String()) != strip(uncached.String()) {
+		t.Fatalf("warm cached run differs from uncached:\n%s\nvs\n%s", warm.String(), uncached.String())
+	}
+	// Both snapshots were written to the cache.
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("cache holds %d files, want 2", len(entries))
+	}
+	// A corrupt cache entry (e.g. an interrupted write) is a cache miss:
+	// the run regenerates and repairs it instead of failing.
+	broken := filepath.Join(cache, entries[0].Name())
+	if err := os.Truncate(broken, 100); err != nil {
+		t.Fatal(err)
+	}
+	var repaired bytes.Buffer
+	if err := run(&repaired, "e4", "small", "", cache); err != nil {
+		t.Fatalf("corrupt cache entry should regenerate, got: %v", err)
+	}
+	if strip(repaired.String()) != strip(uncached.String()) {
+		t.Fatal("repaired cached run differs from uncached")
+	}
+	if fi, err := os.Stat(broken); err != nil || fi.Size() <= 100 {
+		t.Fatalf("cache entry not rewritten (err %v, size %d)", err, fi.Size())
 	}
 }

@@ -10,7 +10,8 @@ import (
 
 // Sampler produces parameter bindings for workload generation.
 type Sampler interface {
-	// Sample returns n bindings.
+	// Sample returns n bindings drawn with replacement, or nil when the
+	// underlying domain is empty (there is nothing to draw from).
 	Sample(n int) []sparql.Binding
 }
 
@@ -27,10 +28,16 @@ func NewUniformSampler(dom *Domain, seed int64) *UniformSampler {
 	return &UniformSampler{dom: dom, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Sample draws n bindings uniformly from the domain.
+// Sample draws n bindings uniformly from the domain. It returns nil when
+// the domain is empty (or n <= 0) rather than crashing: ExtractDomain
+// rejects empty domains, but hand-built or filtered domains can reach
+// samplers mid-pipeline.
 func (s *UniformSampler) Sample(n int) []sparql.Binding {
-	out := make([]sparql.Binding, n)
 	size := s.dom.Size()
+	if size == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]sparql.Binding, n)
 	for i := range out {
 		out[i] = s.dom.At(s.rng.Intn(size))
 	}
@@ -51,8 +58,12 @@ func NewClassSampler(c *Class, seed int64) *ClassSampler {
 	return &ClassSampler{class: c, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Sample draws n member bindings (with replacement).
+// Sample draws n member bindings (with replacement). It returns nil when
+// the class has no members (or n <= 0) rather than crashing.
 func (s *ClassSampler) Sample(n int) []sparql.Binding {
+	if len(s.class.Points) == 0 || n <= 0 {
+		return nil
+	}
 	out := make([]sparql.Binding, n)
 	for i := range out {
 		out[i] = s.class.Points[s.rng.Intn(len(s.class.Points))].Binding

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Regression: samplers over empty domains/classes used to panic with
+// rand.Intn(0) mid-pipeline; they must return nil instead.
+func TestUniformSamplerEmptyDomain(t *testing.T) {
+	cases := []*Domain{
+		{}, // no parameters at all
+		{Params: []sparql.Param{"p"}, Values: [][]rdf.Term{{}}}, // parameter with no candidates
+	}
+	for i, dom := range cases {
+		s := NewUniformSampler(dom, 1)
+		if got := s.Sample(5); got != nil {
+			t.Errorf("case %d: Sample over empty domain = %v, want nil", i, got)
+		}
+	}
+}
+
+func TestClassSamplerEmptyClass(t *testing.T) {
+	s := NewClassSampler(&Class{}, 1)
+	if got := s.Sample(5); got != nil {
+		t.Errorf("Sample over empty class = %v, want nil", got)
+	}
+}
+
+func TestSamplersRejectNonPositiveN(t *testing.T) {
+	dom := &Domain{
+		Params: []sparql.Param{"p"},
+		Values: [][]rdf.Term{{rdf.NewIRI("http://x/a")}},
+	}
+	u := NewUniformSampler(dom, 1)
+	if got := u.Sample(0); got != nil {
+		t.Errorf("Sample(0) = %v, want nil", got)
+	}
+	if got := u.Sample(-3); got != nil {
+		t.Errorf("Sample(-3) = %v, want nil", got)
+	}
+	c := NewClassSampler(&Class{Points: []Point{{Binding: sparql.Binding{"p": rdf.NewIRI("http://x/a")}}}}, 1)
+	if got := c.Sample(-1); got != nil {
+		t.Errorf("class Sample(-1) = %v, want nil", got)
+	}
+}
+
+// Non-empty samplers still honor the n-bindings contract.
+func TestSamplersDrawRequestedCount(t *testing.T) {
+	dom := &Domain{
+		Params: []sparql.Param{"p"},
+		Values: [][]rdf.Term{{rdf.NewIRI("http://x/a"), rdf.NewIRI("http://x/b")}},
+	}
+	if got := NewUniformSampler(dom, 7).Sample(10); len(got) != 10 {
+		t.Fatalf("uniform Sample(10) returned %d bindings", len(got))
+	}
+	cl := &Class{Points: []Point{
+		{Binding: sparql.Binding{"p": rdf.NewIRI("http://x/a")}},
+		{Binding: sparql.Binding{"p": rdf.NewIRI("http://x/b")}},
+	}}
+	if got := NewClassSampler(cl, 7).Sample(4); len(got) != 4 {
+		t.Fatalf("class Sample(4) returned %d bindings", len(got))
+	}
+}

@@ -95,7 +95,11 @@ func E4(env *Env) (*E4Result, error) {
 		sigs = append(sigs, sig)
 	}
 	sort.Slice(sigs, func(i, j int) bool {
-		return res.PlanStats[sigs[i]].MeanCovisit > res.PlanStats[sigs[j]].MeanCovisit
+		a, b := res.PlanStats[sigs[i]], res.PlanStats[sigs[j]]
+		if a.MeanCovisit != b.MeanCovisit {
+			return a.MeanCovisit > b.MeanCovisit
+		}
+		return sigs[i] < sigs[j] // deterministic order for tied means
 	})
 	for _, sig := range sigs {
 		st := res.PlanStats[sig]

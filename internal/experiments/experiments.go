@@ -14,9 +14,12 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/bsbm"
 	"repro/internal/exec"
+	"repro/internal/rdf"
 	"repro/internal/snb"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -72,16 +75,82 @@ type Env struct {
 }
 
 // NewEnv generates both datasets.
-func NewEnv(sc Scale) (*Env, error) {
-	bst, bds, err := bsbm.BuildStore(sc.BSBM)
+func NewEnv(sc Scale) (*Env, error) { return NewEnvCached(sc, "") }
+
+// NewEnvCached is NewEnv with a snapshot cache: when cacheDir is non-empty,
+// each store is loaded from <cacheDir>/<dataset>-<scale>-<seed>.snap if
+// present and written there (v2 format) after generation otherwise. Cache
+// hits skip dictionary encoding, deduplication and all index sorting — the
+// expensive half of dataset preparation — and still re-run the seeded
+// generator with a discard sink to recover the Dataset metadata, so a
+// cached Env is indistinguishable from a generated one.
+func NewEnvCached(sc Scale, cacheDir string) (*Env, error) {
+	bst, bds, err := cachedStore(cacheDir, fmt.Sprintf("bsbm-%s-%d", sc.Name, sc.BSBM.Seed),
+		func() (*store.Store, *bsbm.Dataset, error) { return bsbm.BuildStore(sc.BSBM) },
+		func() (*bsbm.Dataset, error) { return bsbm.Generate(sc.BSBM, discardTriple) })
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bsbm: %w", err)
 	}
-	sst, sds, err := snb.BuildStore(sc.SNB)
+	sst, sds, err := cachedStore(cacheDir, fmt.Sprintf("snb-%s-%d", sc.Name, sc.SNB.Seed),
+		func() (*store.Store, *snb.Dataset, error) { return snb.BuildStore(sc.SNB) },
+		func() (*snb.Dataset, error) { return snb.Generate(sc.SNB, discardTriple) })
 	if err != nil {
 		return nil, fmt.Errorf("experiments: snb: %w", err)
 	}
 	return &Env{Scale: sc, BSBM: bst, BSBMData: bds, SNB: sst, SNBData: sds}, nil
+}
+
+func discardTriple(rdf.Triple) error { return nil }
+
+// cachedStore loads name's snapshot from dir, falling back to build (and
+// then writing the snapshot for next time). meta regenerates the dataset
+// metadata on a cache hit without paying for store construction.
+func cachedStore[D any](dir, name string, build func() (*store.Store, *D, error), meta func() (*D, error)) (*store.Store, *D, error) {
+	if dir == "" {
+		return build()
+	}
+	path := filepath.Join(dir, name+".snap")
+	if f, err := os.Open(path); err == nil {
+		st, err := store.ReadSnapshot(f)
+		f.Close()
+		if err == nil {
+			ds, err := meta()
+			if err != nil {
+				return nil, nil, err
+			}
+			return st, ds, nil
+		}
+		// A corrupt cache entry (interrupted write, partial download) is a
+		// cache miss, not a fatal error: fall through and regenerate.
+	}
+	st, ds, err := build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// Write to a temp name and rename so an interrupted run never leaves a
+	// truncated snapshot at the cache key, and concurrent readers only ever
+	// see complete files.
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := st.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	return st, ds, nil
 }
 
 // NewBSBMEnv generates only the BSBM side (for experiments that do not

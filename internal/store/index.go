@@ -1,6 +1,7 @@
 package store
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/dict"
@@ -72,8 +73,32 @@ func lessByOrder(x, y IDTriple, o order) bool {
 	return xc < yc
 }
 
+// sortByOrder sorts via the generic (non-reflective) pdqsort. The sort is
+// unstable, but a deduplicated triple set has no equal elements under any
+// full permutation, so the result is the unique sorted sequence regardless
+// of input order or scheduling.
 func sortByOrder(ts []IDTriple, o order) {
-	sort.Slice(ts, func(i, j int) bool { return lessByOrder(ts[i], ts[j], o) })
+	p := orderPositions[o]
+	slices.SortFunc(ts, func(x, y IDTriple) int {
+		// Pack the first two key components of each triple into one
+		// uint64 so most comparisons are a single branch.
+		xk := uint64(positionValue(x, p[0]))<<32 | uint64(positionValue(x, p[1]))
+		yk := uint64(positionValue(y, p[0]))<<32 | uint64(positionValue(y, p[1]))
+		switch {
+		case xk < yk:
+			return -1
+		case xk > yk:
+			return 1
+		}
+		xc, yc := positionValue(x, p[2]), positionValue(y, p[2])
+		switch {
+		case xc < yc:
+			return -1
+		case xc > yc:
+			return 1
+		}
+		return 0
+	})
 }
 
 // searchRange returns the half-open index range [lo, hi) of triples in idx

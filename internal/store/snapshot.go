@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
@@ -13,9 +14,9 @@ import (
 // Snapshot format: a compact binary serialization of a store (dictionary +
 // triples). Generating a paper-scale dataset takes ~10 s; loading its
 // snapshot takes a fraction of that, so experiment drivers can reuse
-// datasets across processes.
+// datasets across processes. Two versions exist, auto-detected by magic:
 //
-// Layout (all integers little-endian):
+// v1 (all integers little-endian, fixed width):
 //
 //	magic   [8]byte  "RDFSNAP1"
 //	nTerms  uint32
@@ -24,12 +25,64 @@ import (
 //	triples nTriple × { s, p, o uint32 }   (dictionary IDs, SPO order)
 //
 // where str is uint32 length + bytes.
-const snapshotMagic = "RDFSNAP1"
+//
+// v2 (the default; unsigned varints, delta-encoded triples):
+//
+//	magic   [8]byte  "RDFSNAP2"
+//	nTerms  uvarint
+//	nTriple uvarint
+//	terms   nTerms × { kind uint8, value vstr, lang vstr, datatype vstr }
+//	triples nTriple × delta record, strictly increasing SPO order
+//
+// where vstr is uvarint length + bytes. Each triple is encoded against its
+// predecessor (starting from the zero triple): uvarint(S−prevS), then the
+// full P and O if the subject advanced; otherwise 0, uvarint(P−prevP),
+// then the full O if the predicate advanced; otherwise 0, 0,
+// uvarint(O−prevO). Since the stream is strictly increasing, the final
+// delta is never zero — a zero marks a duplicate (or unsorted) triple and
+// is rejected, as are term IDs outside [1, nTerms]. Dictionary IDs are
+// dense and insertion-ordered, so SPO deltas are small and most records
+// fit in a few bytes, versus a fixed 12 in v1.
+const (
+	snapshotMagicV1 = "RDFSNAP1"
+	snapshotMagicV2 = "RDFSNAP2"
 
-// WriteSnapshot serializes the store to w.
+	// maxSnapshotStr caps a single term component read from a snapshot.
+	maxSnapshotStr = 1 << 24
+	// maxSnapshotPrealloc caps slice/map pre-allocation driven by the
+	// untrusted header counts: a corrupt header claiming 4G triples must
+	// not allocate 48 GB up front. Reading still fails naturally when the
+	// stream runs out; this only bounds what is allocated before that.
+	maxSnapshotPrealloc = 1 << 20
+)
+
+// WriteSnapshot serializes the store to w in the current (v2) format.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	return s.WriteSnapshotVersion(w, 2)
+}
+
+// WriteSnapshotVersion serializes the store in the requested format
+// version (1 or 2). v1 exists so older readers and size/speed comparisons
+// keep working; new snapshots should use v2.
+func (s *Store) WriteSnapshotVersion(w io.Writer, version int) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	switch version {
+	case 1:
+		if err := s.writeV1(bw); err != nil {
+			return err
+		}
+	case 2:
+		if err := s.writeV2(bw); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("store: unknown snapshot version %d (want 1 or 2)", version)
+	}
+	return bw.Flush()
+}
+
+func (s *Store) writeV1(bw *bufio.Writer) error {
+	if _, err := bw.WriteString(snapshotMagicV1); err != nil {
 		return err
 	}
 	nTerms := s.dict.Len()
@@ -70,48 +123,128 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadSnapshot deserializes a store previously written by WriteSnapshot.
-// Indexes and statistics are rebuilt, so the result is identical to the
-// original store.
+func (s *Store) writeV2(bw *bufio.Writer) error {
+	if _, err := bw.WriteString(snapshotMagicV2); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(vbuf[:], x)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	nTerms := s.dict.Len()
+	if err := writeUvarint(uint64(nTerms)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(s.n)); err != nil {
+		return err
+	}
+	writeStr := func(x string) error {
+		if err := writeUvarint(uint64(len(x))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(x)
+		return err
+	}
+	for id := dict.ID(1); int(id) <= nTerms; id++ {
+		t := s.dict.Decode(id)
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		if err := writeStr(t.Value); err != nil {
+			return err
+		}
+		if err := writeStr(t.Lang); err != nil {
+			return err
+		}
+		if err := writeStr(t.Datatype); err != nil {
+			return err
+		}
+	}
+	var prev IDTriple
+	for _, tr := range s.idx[orderSPO] {
+		switch {
+		case tr.S != prev.S:
+			if err := writeUvarint(uint64(tr.S - prev.S)); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(tr.P)); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(tr.O)); err != nil {
+				return err
+			}
+		case tr.P != prev.P:
+			if err := writeUvarint(0); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(tr.P - prev.P)); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(tr.O)); err != nil {
+				return err
+			}
+		default:
+			if err := writeUvarint(0); err != nil {
+				return err
+			}
+			if err := writeUvarint(0); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(tr.O - prev.O)); err != nil {
+				return err
+			}
+		}
+		prev = tr
+	}
+	return nil
+}
+
+// ReadSnapshot deserializes a store previously written by WriteSnapshot,
+// auto-detecting the format version by magic. Indexes and statistics are
+// rebuilt through the same (parallel) construction path as Builder.Build,
+// so the result is identical to the original store.
 func ReadSnapshot(r io.Reader) (*Store, error) {
+	return ReadSnapshotOpts(r, BuildOptions{})
+}
+
+// ReadSnapshotOpts is ReadSnapshot with explicit construction options.
+func ReadSnapshotOpts(r io.Reader, opts BuildOptions) (*Store, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, len(snapshotMagic))
+	magic := make([]byte, len(snapshotMagicV1))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("store: reading snapshot magic: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	var d *dict.Dict
+	var triples []IDTriple
+	var err error
+	switch string(magic) {
+	case snapshotMagicV1:
+		d, triples, err = readV1(br)
+	case snapshotMagicV2:
+		d, triples, err = readV2(br)
+	default:
 		return nil, fmt.Errorf("store: bad snapshot magic %q", magic)
 	}
-	var nTerms, nTriples uint32
-	if err := binary.Read(br, binary.LittleEndian, &nTerms); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &nTriples); err != nil {
-		return nil, err
-	}
-	const maxStr = 1 << 24
-	readStr := func() (string, error) {
-		var n uint32
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-			return "", err
-		}
-		if n > maxStr {
-			return "", fmt.Errorf("store: snapshot string of %d bytes exceeds limit", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	d := dict.NewWithCapacity(int(nTerms))
-	for i := uint32(0); i < nTerms; i++ {
+	return buildIndexes(d, triples, opts), nil
+}
+
+// readTerms reads the shared dictionary section: nTerms records of
+// kind byte + three strings, with readStr supplying the version-specific
+// string decoding.
+func readTerms(br *bufio.Reader, nTerms uint64, readStr func() (string, error)) (*dict.Dict, error) {
+	d := dict.NewWithCapacity(int(min(nTerms, maxSnapshotPrealloc)))
+	for i := uint64(0); i < nTerms; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: reading snapshot term %d: %w", i+1, err)
 		}
 		if kind > byte(rdf.Blank) {
 			return nil, fmt.Errorf("store: snapshot term %d has invalid kind %d", i+1, kind)
@@ -130,15 +263,37 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		}
 		t := rdf.Term{Kind: rdf.Kind(kind), Value: value, Lang: lang, Datatype: datatype}
 		got := d.Encode(t)
-		if got != dict.ID(i+1) {
+		if uint64(got) != i+1 {
 			return nil, fmt.Errorf("store: snapshot term %d duplicates term %d", i+1, got)
 		}
 	}
-	triples := make([]IDTriple, nTriples)
+	return d, nil
+}
+
+func readV1(br *bufio.Reader) (*dict.Dict, []IDTriple, error) {
+	var nTerms, nTriples uint32
+	if err := binary.Read(br, binary.LittleEndian, &nTerms); err != nil {
+		return nil, nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nTriples); err != nil {
+		return nil, nil, err
+	}
+	readStr := func() (string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		return readStrBody(br, uint64(n))
+	}
+	d, err := readTerms(br, uint64(nTerms), readStr)
+	if err != nil {
+		return nil, nil, err
+	}
+	triples := make([]IDTriple, 0, int(min(uint64(nTriples), maxSnapshotPrealloc)))
 	buf := make([]byte, 12)
-	for i := range triples {
+	for i := uint32(0); i < nTriples; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
+			return nil, nil, fmt.Errorf("store: reading triple %d: %w", i, err)
 		}
 		tr := IDTriple{
 			S: dict.ID(binary.LittleEndian.Uint32(buf[0:4])),
@@ -146,22 +301,112 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 			O: dict.ID(binary.LittleEndian.Uint32(buf[8:12])),
 		}
 		for _, id := range []dict.ID{tr.S, tr.P, tr.O} {
-			if id == dict.None || int(id) > int(nTerms) {
-				return nil, fmt.Errorf("store: triple %d references invalid term id %d", i, id)
+			if id == dict.None || uint64(id) > uint64(nTerms) {
+				return nil, nil, fmt.Errorf("store: triple %d references invalid term id %d", i, id)
 			}
 		}
-		triples[i] = tr
+		triples = append(triples, tr)
 	}
-	s := &Store{dict: d, n: int(nTriples)}
-	s.idx[orderSPO] = triples
-	for o := orderSPO + 1; o < numOrders; o++ {
-		cp := make([]IDTriple, len(triples))
-		copy(cp, triples)
-		s.idx[o] = cp
+	// v1 places no ordering constraint on the stream, so duplicates must
+	// be detected explicitly: a store built from them would disagree with
+	// a Builder-built store on Len, Count and predicate statistics.
+	sortByOrder(triples, orderSPO)
+	for i := 1; i < len(triples); i++ {
+		if triples[i] == triples[i-1] {
+			return nil, nil, fmt.Errorf("store: snapshot contains duplicate triple %v", triples[i])
+		}
 	}
-	for o := order(0); o < numOrders; o++ {
-		sortByOrder(s.idx[o], o)
+	return d, triples, nil
+}
+
+func readV2(br *bufio.Reader) (*dict.Dict, []IDTriple, error) {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nTerms, err := readUvarint()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading snapshot term count: %w", err)
 	}
-	s.computeStats()
-	return s, nil
+	nTriples, err := readUvarint()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading snapshot triple count: %w", err)
+	}
+	if nTerms > math.MaxUint32 || nTriples > math.MaxUint32 {
+		return nil, nil, fmt.Errorf("store: snapshot header counts %d/%d exceed 32-bit id space", nTerms, nTriples)
+	}
+	readStr := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		return readStrBody(br, n)
+	}
+	d, err := readTerms(br, nTerms, readStr)
+	if err != nil {
+		return nil, nil, err
+	}
+	triples := make([]IDTriple, 0, int(min(nTriples, maxSnapshotPrealloc)))
+	var s, p, o uint64
+	for i := uint64(0); i < nTriples; i++ {
+		read := func(what string) (uint64, error) {
+			v, err := readUvarint()
+			if err != nil {
+				return 0, fmt.Errorf("store: reading triple %d %s: %w", i, what, err)
+			}
+			// No valid id or delta exceeds the 32-bit id space; rejecting
+			// larger values here also keeps the running sums below from
+			// wrapping uint64.
+			if v > math.MaxUint32 {
+				return 0, fmt.Errorf("store: triple %d %s %d exceeds 32-bit id space", i, what, v)
+			}
+			return v, nil
+		}
+		dS, err := read("subject delta")
+		if err != nil {
+			return nil, nil, err
+		}
+		if dS != 0 {
+			s += dS
+			if p, err = read("predicate"); err != nil {
+				return nil, nil, err
+			}
+			if o, err = read("object"); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			dP, err := read("predicate delta")
+			if err != nil {
+				return nil, nil, err
+			}
+			if dP != 0 {
+				p += dP
+				if o, err = read("object"); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				dO, err := read("object delta")
+				if err != nil {
+					return nil, nil, err
+				}
+				if dO == 0 {
+					return nil, nil, fmt.Errorf("store: snapshot triple %d duplicates its predecessor", i)
+				}
+				o += dO
+			}
+		}
+		if s == 0 || s > nTerms || p == 0 || p > nTerms || o == 0 || o > nTerms {
+			return nil, nil, fmt.Errorf("store: triple %d references term ids (%d %d %d) outside [1, %d]", i, s, p, o, nTerms)
+		}
+		triples = append(triples, IDTriple{S: dict.ID(s), P: dict.ID(p), O: dict.ID(o)})
+	}
+	return d, triples, nil
+}
+
+func readStrBody(br *bufio.Reader, n uint64) (string, error) {
+	if n > maxSnapshotStr {
+		return "", fmt.Errorf("store: snapshot string of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
 }

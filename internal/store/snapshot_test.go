@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -118,6 +119,163 @@ func TestSnapshotErrors(t *testing.T) {
 	corrupt[len(corrupt)-4] = 0xFF
 	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
 		t.Fatal("invalid term id should fail")
+	}
+}
+
+// writeV1Fixture serializes st exactly as the pre-v2 code did (fixed-width
+// uint32 header and triples), so compatibility with snapshots written
+// before the format change is tested against real v1 bytes.
+func writeV1Fixture(t *testing.T, st *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.WriteSnapshotVersion(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotV1StillLoads: a v1 snapshot loads into a store identical to
+// the same data loaded from v2 or built in process.
+func TestSnapshotV1StillLoads(t *testing.T) {
+	built, ids := buildTestStore(t)
+	v1 := writeV1Fixture(t, built)
+	var v2 bytes.Buffer
+	if err := built.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := ReadSnapshot(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := ReadSnapshot(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := []Pattern{{}, {S: ids["s1"]}, {P: ids["knows"]}, {O: ids["s3"]}, {P: ids["knows"], O: ids["s3"]}}
+	for _, st := range []*Store{fromV1, fromV2} {
+		if st.Len() != built.Len() || st.Dict().Len() != built.Dict().Len() {
+			t.Fatal("size mismatch after load")
+		}
+		for _, p := range pats {
+			if st.Count(p) != built.Count(p) {
+				t.Fatalf("Count(%v) differs", p)
+			}
+		}
+		if st.PredicateStats(ids["knows"]) != built.PredicateStats(ids["knows"]) {
+			t.Fatal("predicate stats differ")
+		}
+	}
+}
+
+// TestSnapshotV2Smaller: delta+varint triples make v2 measurably smaller
+// than v1 on realistic (sorted, dense-id) data.
+func TestSnapshotV2Smaller(t *testing.T) {
+	st := randomBuilder(5, 4000).Build()
+	var v2 bytes.Buffer
+	if err := st.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	v1 := writeV1Fixture(t, st)
+	if v2.Len() >= len(v1) {
+		t.Fatalf("v2 (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), len(v1))
+	}
+	got, err := ReadSnapshot(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalStores(t, st, got.Rebuild(BuildOptions{})) // indexes identical too
+	if got.Len() != st.Len() {
+		t.Fatalf("Len %d vs %d", got.Len(), st.Len())
+	}
+}
+
+// TestSnapshotRejectsHugeCounts: headers claiming absurd term/triple counts
+// must fail with an error (when the stream runs dry), not allocate
+// gigabytes up front. The fixtures end immediately after the header.
+func TestSnapshotRejectsHugeCounts(t *testing.T) {
+	// v1: 4G terms, 4G triples, empty body.
+	v1 := []byte(snapshotMagicV1)
+	v1 = append(v1, 0xFF, 0xFF, 0xFF, 0xFF) // nTerms
+	v1 = append(v1, 0xFF, 0xFF, 0xFF, 0xFF) // nTriples
+	if _, err := ReadSnapshot(bytes.NewReader(v1)); err == nil {
+		t.Fatal("v1 huge header should fail")
+	}
+	// v2: uvarint counts beyond the 32-bit id space are rejected outright.
+	v2 := []byte(snapshotMagicV2)
+	v2 = binary.AppendUvarint(v2, 1<<40)
+	v2 = binary.AppendUvarint(v2, 1<<40)
+	if _, err := ReadSnapshot(bytes.NewReader(v2)); err == nil {
+		t.Fatal("v2 huge header should fail")
+	}
+	// v2: plausible counts but an empty body still errors cleanly.
+	v2 = []byte(snapshotMagicV2)
+	v2 = binary.AppendUvarint(v2, 1<<30)
+	v2 = binary.AppendUvarint(v2, 1<<30)
+	if _, err := ReadSnapshot(bytes.NewReader(v2)); err == nil {
+		t.Fatal("v2 truncated-after-header should fail")
+	}
+}
+
+// TestSnapshotRejectsDuplicateTriples: duplicate triples would produce a
+// store whose Len/Count/pstats disagree with any Builder-built store.
+func TestSnapshotRejectsDuplicateTriples(t *testing.T) {
+	st, _ := buildTestStore(t)
+	// v1: append a copy of the last triple and patch the triple count.
+	v1 := writeV1Fixture(t, st)
+	v1 = append(v1, v1[len(v1)-12:]...)
+	binary.LittleEndian.PutUint32(v1[12:16], uint32(st.Len()+1))
+	if _, err := ReadSnapshot(bytes.NewReader(v1)); err == nil {
+		t.Fatal("v1 duplicate triple should fail")
+	}
+	// v2: an all-zero delta record encodes "same triple again".
+	var v2 bytes.Buffer
+	if err := st.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), v2.Bytes()...)
+	raw = append(raw, 0, 0, 0)
+	// Patch the uvarint triple count: re-encode the whole prefix instead of
+	// poking bytes — counts this small are single-byte uvarints.
+	if st.Len() >= 127 {
+		t.Fatal("fixture store grew; rewrite the uvarint patch")
+	}
+	idx := len(snapshotMagicV2)
+	termCount, n := binary.Uvarint(raw[idx:])
+	if n <= 0 || termCount == 0 {
+		t.Fatal("cannot parse term count")
+	}
+	cntIdx := idx + n
+	tripCount, n2 := binary.Uvarint(raw[cntIdx:])
+	if n2 != 1 || int(tripCount) != st.Len() {
+		t.Fatalf("unexpected triple count encoding (%d bytes, %d)", n2, tripCount)
+	}
+	raw[cntIdx] = byte(st.Len() + 1)
+	if _, err := ReadSnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("v2 duplicate triple should fail")
+	}
+}
+
+// TestSnapshotV2Truncated: cutting a v2 stream at any point must produce a
+// clean error.
+func TestSnapshotV2Truncated(t *testing.T) {
+	st, _ := buildTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestSnapshotBadVersionArg(t *testing.T) {
+	st, _ := buildTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshotVersion(&buf, 3); err == nil {
+		t.Fatal("unknown snapshot version should fail")
 	}
 }
 

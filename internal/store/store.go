@@ -135,26 +135,28 @@ func (b *Builder) LoadNTriples(r io.Reader) error {
 }
 
 // Build sorts the six permutation indexes, computes statistics and returns
-// the immutable store. The builder must not be used afterwards.
-func (b *Builder) Build() *Store {
-	s := &Store{
-		dict: b.dict,
-		n:    len(b.triples),
-	}
-	s.idx[orderSPO] = b.triples
+// the immutable store. The builder must not be used afterwards. Index
+// construction runs in parallel (see BuildOpts); the result is
+// byte-identical to a serial build.
+func (b *Builder) Build() *Store { return b.BuildOpts(BuildOptions{}) }
+
+// BuildOpts is Build with explicit construction options. The builder must
+// not be used afterwards.
+func (b *Builder) BuildOpts(opts BuildOptions) *Store {
+	triples := b.triples
 	b.triples = nil
 	b.dedup = nil
-	base := s.idx[orderSPO]
-	for o := orderSPO + 1; o < numOrders; o++ {
-		cp := make([]IDTriple, len(base))
-		copy(cp, base)
-		s.idx[o] = cp
-	}
-	for o := order(0); o < numOrders; o++ {
-		sortByOrder(s.idx[o], o)
-	}
-	s.computeStats()
-	return s
+	return buildIndexes(b.dict, triples, opts)
+}
+
+// Rebuild constructs a new Store over the same dictionary and triple set,
+// re-deriving every index and statistic from a copy of the base index. It
+// exists so benchmarks and equivalence tests can exercise the
+// construction path in isolation from parsing and dictionary encoding.
+func (s *Store) Rebuild(opts BuildOptions) *Store {
+	cp := make([]IDTriple, len(s.idx[orderSPO]))
+	copy(cp, s.idx[orderSPO])
+	return buildIndexes(s.dict, cp, opts)
 }
 
 // Dict returns the store's dictionary.
@@ -209,26 +211,28 @@ func (s *Store) DistinctValues(position int, pat Pattern) []dict.ID {
 	// positions so distinct values appear in runs.
 	triples, o := s.Match(pat)
 	var out []dict.ID
-	var last dict.ID
-	seen := make(map[dict.ID]struct{})
-	ordered := firstUnboundIsPosition(o, pat.boundMask(), position)
-	for i := range triples {
-		v := positionValue(triples[i], position)
-		if ordered {
+	if firstUnboundIsPosition(o, pat.boundMask(), position) {
+		// Matches are grouped by this position: distinct values are run
+		// heads, no dedup map needed.
+		var last dict.ID
+		for i := range triples {
+			v := positionValue(triples[i], position)
 			if i == 0 || v != last {
 				out = append(out, v)
 				last = v
 			}
-			continue
 		}
+		return out
+	}
+	seen := make(map[dict.ID]struct{})
+	for i := range triples {
+		v := positionValue(triples[i], position)
 		if _, ok := seen[v]; !ok {
 			seen[v] = struct{}{}
 			out = append(out, v)
 		}
 	}
-	if !ordered {
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -257,61 +261,16 @@ func firstUnboundIsPosition(o order, mask, position int) bool {
 	return false
 }
 
+// computeStats is the serial statistics path; buildParallel runs the same
+// three passes concurrently.
 func (s *Store) computeStats() {
-	s.pstats = make(map[dict.ID]PredStats)
-	// PSO: distinct subjects per predicate; predicate runs are contiguous.
-	pso := s.idx[orderPSO]
-	for i := 0; i < len(pso); {
-		p := pso[i].P
-		st := PredStats{}
-		var lastS dict.ID
-		j := i
-		for ; j < len(pso) && pso[j].P == p; j++ {
-			st.Count++
-			if j == i || pso[j].S != lastS {
-				st.DistinctS++
-				lastS = pso[j].S
-			}
-		}
-		s.pstats[p] = st
-		i = j
-	}
-	// POS: distinct objects per predicate.
-	pos := s.idx[orderPOS]
-	for i := 0; i < len(pos); {
-		p := pos[i].P
-		distinct := 0
-		var lastO dict.ID
-		j := i
-		for ; j < len(pos) && pos[j].P == p; j++ {
-			if j == i || pos[j].O != lastO {
-				distinct++
-				lastO = pos[j].O
-			}
-		}
-		st := s.pstats[p]
-		st.DistinctO = distinct
-		s.pstats[p] = st
-		i = j
-	}
-	// rdf:type index.
+	s.pstats = statsFromPSO(s.idx[orderPSO])
+	mergeDistinctObjects(s.pstats, distinctObjectsFromPOS(s.idx[orderPOS]))
 	s.typeIdx = make(map[dict.ID][]dict.ID)
 	typeID, ok := s.dict.Lookup(rdf.NewIRI(rdf.RDFType))
 	if !ok {
 		return
 	}
 	s.typeID = typeID
-	members, _ := s.Match(Pattern{P: typeID}) // POS order: grouped by O, then S
-	for i := 0; i < len(members); {
-		c := members[i].O
-		j := i
-		var subjects []dict.ID
-		for ; j < len(members) && members[j].O == c; j++ {
-			if len(subjects) == 0 || subjects[len(subjects)-1] != members[j].S {
-				subjects = append(subjects, members[j].S)
-			}
-		}
-		s.typeIdx[c] = subjects
-		i = j
-	}
+	s.typeIdx = typeIndexFromPOS(s.idx[orderPOS], typeID)
 }
