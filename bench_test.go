@@ -10,6 +10,8 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/plan"
+	"repro/internal/service"
 	"repro/internal/snb"
 	"repro/internal/sparql"
 	"repro/internal/stats"
@@ -695,6 +698,129 @@ func BenchmarkDatasetGenerationSNB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := snb.BuildStore(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Query service -----------------------------------------------------------
+
+// benchServeSetup builds a query service over the BSBM store with the given
+// plan-cache size and returns a prepared BSBM Q3 template (the deep
+// drill-down: six patterns, so DPsub dominates a cold plan) with the most
+// selective (leaf type, own-pool feature, country) binding — measured by
+// executed work units, the serving-path hot case of a pinpoint lookup.
+func benchServeSetup(b *testing.B, cacheSize int) (*service.Service, *service.Prepared, sparql.Binding) {
+	b.Helper()
+	e := env(b)
+	opts := service.DefaultOptions()
+	opts.PlanCacheSize = cacheSize
+	svc := service.New(e.BSBM, "", opts)
+	p, err := svc.Prepare("q3", bsbm.QueryQ3Text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc, p, benchServeBinding(b, e)
+}
+
+var (
+	serveBindOnce sync.Once
+	serveBinding  sparql.Binding
+	serveBindErr  error
+)
+
+// benchServeBinding searches the leaf-type x feature x country space once
+// for the binding with the least executed work, so the bench pair measures
+// plan-cache dispatch against cold planning rather than raw join runtime.
+func benchServeBinding(b *testing.B, e *experiments.Env) sparql.Binding {
+	b.Helper()
+	serveBindOnce.Do(func() {
+		tmpl := bsbm.Q3()
+		best := -1.0
+		for i, n := range e.BSBMData.Types {
+			if len(n.Children) != 0 || len(n.Features) == 0 {
+				continue
+			}
+			for _, feat := range n.Features {
+				for _, code := range []string{"US", "KR"} {
+					binding := sparql.Binding{
+						"ProductType": bsbm.TypeIRI(i),
+						"Feature":     feat,
+						"Country":     bsbm.CountryIRI(code),
+					}
+					bound, err := tmpl.Bind(binding)
+					if err != nil {
+						serveBindErr = err
+						return
+					}
+					c, err := plan.Compile(bound, e.BSBM)
+					if err != nil {
+						serveBindErr = err
+						return
+					}
+					pl, err := plan.Optimize(c, plan.NewEstimator(e.BSBM))
+					if err != nil {
+						serveBindErr = err
+						return
+					}
+					res, err := exec.Run(c, pl, e.BSBM, exec.Options{EarlyStop: true})
+					if err != nil {
+						serveBindErr = err
+						return
+					}
+					if best < 0 || res.Work < best {
+						best = res.Work
+						serveBinding = binding
+					}
+				}
+			}
+		}
+		if serveBinding == nil {
+			serveBindErr = fmt.Errorf("no leaf type with features in the BSBM test dataset")
+		}
+	})
+	if serveBindErr != nil {
+		b.Fatal(serveBindErr)
+	}
+	return serveBinding
+}
+
+// BenchmarkServePreparedHit is the warm serving path: the template is
+// prepared and the binding's plan cached, so each request is a cache
+// lookup plus execution — zero parse/compile/optimize work.
+func BenchmarkServePreparedHit(b *testing.B) {
+	svc, p, binding := benchServeSetup(b, 0) // default cache
+	ctx := context.Background()
+	if _, err := svc.Execute(ctx, p, binding); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := svc.Execute(ctx, p, binding)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.CacheHit {
+			b.Fatal("expected a plan-cache hit")
+		}
+	}
+	st := svc.Stats()
+	b.ReportMetric(float64(st.Cache.Hits), "cache-hits")
+}
+
+// BenchmarkServeColdPlan is the same request with the plan cache disabled:
+// every execution pays bind + compile + DPsub join ordering. The ratio to
+// BenchmarkServePreparedHit is the plan cache's per-request win.
+func BenchmarkServeColdPlan(b *testing.B) {
+	svc, p, binding := benchServeSetup(b, -1) // cache disabled
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := svc.Execute(ctx, p, binding)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.CacheHit {
+			b.Fatal("cache should be disabled")
 		}
 	}
 }

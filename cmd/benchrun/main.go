@@ -28,7 +28,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "bsbm", "dataset: bsbm | snb")
 		scale   = flag.String("scale", "test", "scale preset: test | default")
-		query   = flag.String("query", "q4", "query template: bsbm q1|q2|q4, snb q1|q2|q3")
+		query   = flag.String("query", "q4", "query template: bsbm q1|q2|q3|q4, snb q1|q2|q3")
 		mode    = flag.String("mode", "uniform", "sampling mode: uniform | curated")
 		groups  = flag.Int("groups", 4, "independent binding groups (uniform mode)")
 		n       = flag.Int("n", 100, "bindings per group / per class")
@@ -37,7 +37,7 @@ func main() {
 		merge   = flag.Bool("mergejoin", false, "use sort-merge joins for interior joins")
 		mat     = flag.Bool("materialize", false, "use the materializing engine instead of the streaming one")
 		push    = flag.Bool("pushfilters", false, "push single-variable filters below the joins (streaming engine)")
-		snap    = flag.String("snapshot", "", "load the store from this snapshot file (datagen -format snapshot) instead of generating")
+		snap    = flag.String("snapshot", "", "load the store from this snapshot or N-Triples file instead of generating")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *snap, *groups, *n, *seed, *greedy, *merge, *mat, *push); err != nil {
@@ -121,12 +121,8 @@ func run(w io.Writer, dataset, scale, query, mode, snapshot string, groups, n in
 func load(dataset, scale, query string, seed int64, snapshot string) (*store.Store, *sparql.Query, string, error) {
 	var st *store.Store
 	if snapshot != "" {
-		f, err := os.Open(snapshot)
-		if err != nil {
-			return nil, nil, "", err
-		}
-		st, err = store.ReadSnapshot(f)
-		f.Close()
+		var err error
+		st, err = store.LoadAny(snapshot)
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -150,6 +146,8 @@ func load(dataset, scale, query string, seed int64, snapshot string) (*store.Sto
 			return st, bsbm.Q1(), "Q1", nil
 		case "q2":
 			return st, bsbm.Q2(), "Q2", nil
+		case "q3":
+			return st, bsbm.Q3(), "Q3", nil
 		case "q4":
 			return st, bsbm.Q4(), "Q4", nil
 		}

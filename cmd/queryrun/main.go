@@ -13,7 +13,6 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -82,7 +81,7 @@ func run(w io.Writer, cfg config) error {
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
-	st, err := loadStore(dataPath)
+	st, err := store.LoadAny(dataPath)
 	if err != nil {
 		return err
 	}
@@ -177,31 +176,8 @@ func run(w io.Writer, cfg config) error {
 	return nil
 }
 
-// loadStore sniffs the file format: store snapshots start with "RDFSNAP"
-// plus a version digit, anything else is treated as N-Triples. The sniffed
-// prefix is stitched back with io.MultiReader so non-seekable inputs
-// (pipes, process substitution) work too.
-func loadStore(path string) (*store.Store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var magic [8]byte
-	n, _ := io.ReadFull(f, magic[:])
-	r := io.MultiReader(bytes.NewReader(magic[:n]), f)
-	if n == 8 && strings.HasPrefix(string(magic[:]), "RDFSNAP") {
-		return store.ReadSnapshot(r)
-	}
-	b := store.NewBuilder()
-	if err := b.LoadNTriples(r); err != nil {
-		return nil, err
-	}
-	return b.Build(), nil
-}
-
 // parseBindings parses -bind name=term flags; the term side is N-Triples
-// syntax, validated by parsing a synthetic triple.
+// syntax.
 func parseBindings(binds []string) (sparql.Binding, error) {
 	out := sparql.Binding{}
 	for _, b := range binds {
@@ -209,12 +185,11 @@ func parseBindings(binds []string) (sparql.Binding, error) {
 		if !ok || name == "" {
 			return nil, fmt.Errorf("malformed -bind %q (want name=term)", b)
 		}
-		line := "<http://queryrun/s> <http://queryrun/p> " + termSrc + " ."
-		tr, err := rdf.NewReader(strings.NewReader(line)).Read()
+		t, err := rdf.ParseTerm(termSrc)
 		if err != nil {
 			return nil, fmt.Errorf("-bind %s: invalid term %q: %v", name, termSrc, err)
 		}
-		out[sparql.Param(name)] = tr.O
+		out[sparql.Param(name)] = t
 	}
 	return out, nil
 }

@@ -1,0 +1,98 @@
+// Command served runs the concurrent query service over an N-Triples file
+// or a binary store snapshot, exposing the JSON HTTP API:
+//
+//	served -data dataset.snap -addr :8080
+//
+//	POST /query    {"query": "SELECT ...", "bindings": {"t": "<iri>"}}
+//	POST /prepare  {"name": "q4", "query": "SELECT ... %ProductType ..."}
+//	POST /execute  {"name": "q4", "bindings": {"ProductType": "<iri>"}}
+//	POST /execute  {"name": "q4", "batch": [{...}, {...}]}
+//	POST /reload   {"path": "new.snap"}      (requires -allow-reload)
+//	GET  /stats
+//	GET  /healthz
+//
+// Templates are parsed once at /prepare; per-binding executions share an
+// LRU plan cache, so repeated bindings skip join-order optimization. A
+// bounded worker pool rejects excess load with 429. /reload atomically
+// swaps in a new snapshot while in-flight queries finish on the old one;
+// it loads whatever server-readable path the client names, so it is off by
+// default and should only be enabled on trusted listeners.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "N-Triples (.nt) or snapshot file (required)")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (bind non-loopback only on trusted networks)")
+		workers = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "max queued requests beyond running ones (0 = 4x workers, negative = no queue)")
+		cache   = flag.Int("cache", 0, "plan cache entries (0 = 1024, negative = disabled)")
+		exact   = flag.Bool("exact-accounting", false, "drain LIMIT pipelines for paper-exact Cout/Work accounting instead of stopping early")
+		reload  = flag.Bool("allow-reload", false, "enable POST /reload (loads any server-readable path a client names)")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "served: -data is required")
+		os.Exit(2)
+	}
+	opts := service.DefaultOptions()
+	opts.Workers = *workers
+	opts.QueueDepth = *queue
+	opts.PlanCacheSize = *cache
+	opts.AllowReload = *reload
+	if *exact {
+		opts.Exec = exec.Options{}
+	}
+	svc, err := service.Load(*data, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+	log.Printf("served: %d triples from %s, listening on %s", svc.Store().Len(), *data, l.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, l, svc); err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the HTTP server on l until ctx is cancelled, then shuts down
+// gracefully (in-flight requests get up to 5s to finish). Factored out of
+// main so tests can drive it with a loopback listener.
+func serve(ctx context.Context, l net.Listener, svc *service.Service) error {
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shCtx)
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestServeEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.nt")
+	nt := `<http://x/a> <http://x/knows> <http://x/b> .
+<http://x/a> <http://x/knows> <http://x/c> .
+<http://x/b> <http://x/knows> <http://x/c> .
+`
+	if err := os.WriteFile(path, []byte(nt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.Load(path, service.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, svc) }()
+	base := "http://" + l.Addr().String()
+
+	// Health.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Prepare + execute round trip.
+	post := func(url, body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp, m
+	}
+	resp, _ = post(base+"/prepare", `{"name":"f","query":"SELECT ?x WHERE { %who <http://x/knows> ?x . } ORDER BY ?x"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("prepare status %d", resp.StatusCode)
+	}
+	resp, m := post(base+"/execute", `{"name":"f","bindings":{"who":"<http://x/a>"}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("execute status %d", resp.StatusCode)
+	}
+	if rc, ok := m["row_count"].(float64); !ok || rc != 2 {
+		t.Fatalf("execute response = %v", m)
+	}
+
+	// Graceful shutdown.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if _, err := http.Get(fmt.Sprintf("%s/healthz", base)); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}

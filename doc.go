@@ -25,6 +25,11 @@
 // Cout/Work/Scanned accounting. See ARCHITECTURE.md for the layer map and
 // where each counter is maintained.
 //
+// On top of the one-shot pipeline, internal/service hosts a long-lived
+// concurrent query service — prepared templates, a shared LRU plan cache,
+// bounded-worker admission control and hot snapshot swaps — exposed as a
+// JSON HTTP API by cmd/served.
+//
 // bench_test.go in this package regenerates every empirical result of the
 // paper as a testing.B benchmark (plus streaming-vs-materializing and
 // serial-vs-parallel comparisons); cmd/repro prints them as tables.

@@ -131,8 +131,15 @@ type Dataset struct {
 	ProductsPerType []int
 }
 
+// CountryCodes are the vendor country codes, assigned round-robin so every
+// country is populated even at tiny scales.
+var CountryCodes = []string{"US", "DE", "GB", "JP", "CN", "FR", "ES", "RU", "KR", "AT"}
+
 // TypeIRI returns the IRI term of product type i.
 func TypeIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProductType%d", NS, i)) }
+
+// CountryIRI returns the IRI term of a vendor country code.
+func CountryIRI(code string) rdf.Term { return rdf.NewIRI(NS + "Country" + code) }
 
 // FeatureIRI returns the IRI term of feature i.
 func FeatureIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProductFeature%d", NS, i)) }
@@ -193,8 +200,6 @@ func Generate(cfg Config, emit func(rdf.Triple) error) (*Dataset, error) {
 			leaves = append(leaves, i)
 		}
 	}
-
-	countryPool := []string{"US", "DE", "GB", "JP", "CN", "FR", "ES", "RU", "KR", "AT"}
 
 	// Products.
 	for p := 0; p < cfg.Products; p++ {
@@ -269,8 +274,8 @@ func Generate(cfg Config, emit func(rdf.Triple) error) (*Dataset, error) {
 	// Vendors get a country (used by drill-down queries). Round-robin
 	// assignment keeps every country populated even at tiny scales.
 	for v := 0; v < cfg.Vendors; v++ {
-		c := countryPool[v%len(countryPool)]
-		if err := emit(rdf.NewTriple(vendorIRI(v), PredCountry, rdf.NewIRI(NS+"Country"+c))); err != nil {
+		c := CountryCodes[v%len(CountryCodes)]
+		if err := emit(rdf.NewTriple(vendorIRI(v), PredCountry, CountryIRI(c))); err != nil {
 			return nil, err
 		}
 	}

@@ -207,6 +207,44 @@ func TestQ1Runs(t *testing.T) {
 	}
 }
 
+func TestQ3Runs(t *testing.T) {
+	st, ds, err := BuildStore(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A leaf type with one of its own pool features: products carrying both
+	// exist by construction (feature draws are leaf-biased).
+	leaf := -1
+	for i := range ds.Types {
+		if len(ds.Types[i].Children) == 0 && len(ds.Types[i].Features) > 0 {
+			leaf = i
+			break
+		}
+	}
+	if leaf < 0 {
+		t.Fatal("no leaf type with features")
+	}
+	rows := 0
+	for _, code := range CountryCodes {
+		bound, err := Q3().Bind(sparql.Binding{
+			"ProductType": ds.Types[leaf].IRI,
+			"Feature":     ds.Types[leaf].Features[0],
+			"Country":     CountryIRI(code),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := exec.Query(bound, st, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += len(res.Rows)
+	}
+	if rows == 0 {
+		t.Fatal("Q3 returned nothing across all countries")
+	}
+}
+
 func TestEmitErrorPropagates(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Products = 10

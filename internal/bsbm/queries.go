@@ -45,6 +45,22 @@ SELECT ?offer ?price WHERE {
   ?vendor bsbm:country %Country .
 }`
 
+// QueryQ3Text is the deeper drill-down: offers for products of a type that
+// carry a specific feature, from vendors of a country. Three parameters and
+// six patterns make DPsub join ordering the dominant cost of one-shot
+// optimization — the query service's plan-cache benches measure exactly
+// that cold cost against the cached path.
+const QueryQ3Text = `
+PREFIX bsbm: <http://bsbm.example.org/>
+SELECT ?offer ?price WHERE {
+  ?product a %ProductType .
+  ?product bsbm:productFeature %Feature .
+  ?offer bsbm:product ?product .
+  ?offer bsbm:price ?price .
+  ?offer bsbm:vendor ?vendor .
+  ?vendor bsbm:country %Country .
+}`
+
 // Q4 returns the parsed Q4 template.
 func Q4() *sparql.Query { return sparql.MustParse(QueryQ4Text) }
 
@@ -53,3 +69,6 @@ func Q2() *sparql.Query { return sparql.MustParse(QueryQ2Text) }
 
 // Q1 returns the parsed Q1 template.
 func Q1() *sparql.Query { return sparql.MustParse(QueryQ1Text) }
+
+// Q3 returns the parsed Q3 template.
+func Q3() *sparql.Query { return sparql.MustParse(QueryQ3Text) }

@@ -19,6 +19,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -61,6 +62,13 @@ type Options struct {
 	// longer comparable to the unpushed plans; final rows are unchanged.
 	// Off by default to keep the paper's cost accounting exact.
 	PushFilters bool
+	// EarlyStop lets LIMIT terminate the streaming pipeline as soon as the
+	// limit is reached instead of draining its input to exhaustion. Final
+	// rows are unchanged, but the Cout/Work/Scanned accounting reflects
+	// only the tuples actually touched, so it is no longer comparable to
+	// the materializing engine. Off by default (all paper experiments keep
+	// the draining behavior); the query service turns it on.
+	EarlyStop bool
 }
 
 // Result is the outcome of one query execution.
@@ -91,18 +99,36 @@ func (r *relation) colIndex(v sparql.Var) int {
 // executor carries per-run state.
 type executor struct {
 	st   *store.Store
+	ctx  context.Context
 	opts Options
 	cout float64
 	work float64
 	scan int
 }
 
+// cancelled returns the context's error once the run's context is done.
+// Operators check it per batch, so a dropped client aborts a streaming
+// pull within one batch of work.
+func (ex *executor) cancelled() error {
+	if ex.ctx == nil {
+		return nil
+	}
+	return ex.ctx.Err()
+}
+
 // Run executes the plan p for compiled query c against st with the engine
 // selected by opts.Mode. The two engines return bit-identical Results
 // (including the Cout/Work/Scanned accounting) for the same options.
 func Run(c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), c, p, st, opts)
+}
+
+// RunCtx is Run under a context: cancelling ctx aborts the execution at the
+// next operator batch boundary and returns the context's error. The
+// accounting of a completed (non-cancelled) run is identical to Run's.
+func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	start := time.Now()
-	ex := &executor{st: st, opts: opts}
+	ex := &executor{st: st, ctx: ctx, opts: opts}
 	var rel *relation
 	var err error
 	if opts.Mode == Materializing {
@@ -141,6 +167,9 @@ func (ex *executor) runMaterializing(c *plan.Compiled, p *plan.Plan) (*relation,
 func (ex *executor) eval(n *plan.Node) (*relation, error) {
 	if n == nil {
 		return nil, fmt.Errorf("exec: nil plan node")
+	}
+	if err := ex.cancelled(); err != nil {
+		return nil, err
 	}
 	if n.IsLeaf() {
 		return ex.scanLeaf(n.Leaf), nil

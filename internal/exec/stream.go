@@ -54,6 +54,9 @@ func (ex *executor) runStreaming(c *plan.Compiled, p *plan.Plan) (*relation, err
 	}
 	out := &relation{vars: root.vars()}
 	for {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
 		batch, err := root.next()
 		if err != nil {
 			return nil, err
@@ -127,7 +130,7 @@ func (ex *executor) build(n *plan.PhysNode) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &limitOp{child: child, limit: n.Limit}, nil
+		return &limitOp{child: child, limit: n.Limit, earlyStop: ex.opts.EarlyStop}, nil
 	default:
 		return nil, fmt.Errorf("exec: unknown physical operator %v", n.Op)
 	}
@@ -324,6 +327,9 @@ func (op *scanOp) next() ([][]dict.ID, error) {
 	}
 	width := len(op.outVars)
 	for {
+		if err := op.ex.cancelled(); err != nil {
+			return nil, err
+		}
 		triples := op.cursor.Next(streamBatch)
 		if triples == nil {
 			return nil, nil
@@ -361,6 +367,9 @@ func (op *probeOp) vars() []sparql.Var { return op.plan.outVars }
 
 func (op *probeOp) next() ([][]dict.ID, error) {
 	for {
+		if err := op.ex.cancelled(); err != nil {
+			return nil, err
+		}
 		batch, err := op.child.next()
 		if err != nil {
 			return nil, err
@@ -640,15 +649,19 @@ func (op *distinctOp) next() ([][]dict.ID, error) {
 
 // --- Limit -------------------------------------------------------------------
 
-// limitOp truncates the stream to limit rows. The child is still drained
-// to exhaustion after the limit is reached: the materializing engine
-// computes everything before truncating, and measured Cout/Work/Scanned
-// must stay bit-identical between the two engines.
+// limitOp truncates the stream to limit rows. By default the child is
+// still drained to exhaustion after the limit is reached: the
+// materializing engine computes everything before truncating, and measured
+// Cout/Work/Scanned must stay bit-identical between the two engines. With
+// Options.EarlyStop the drain is skipped and the pipeline terminates as
+// soon as the limit is reached (the serving-mode default); rows are
+// unchanged, accounting reflects only the work actually done.
 type limitOp struct {
-	child   operator
-	limit   int
-	emitted int
-	drained bool
+	child     operator
+	limit     int
+	earlyStop bool
+	emitted   int
+	drained   bool
 }
 
 func (op *limitOp) vars() []sparql.Var { return op.child.vars() }
@@ -671,13 +684,15 @@ func (op *limitOp) next() ([][]dict.ID, error) {
 	}
 	if !op.drained {
 		op.drained = true
-		for {
-			batch, err := op.child.next()
-			if err != nil {
-				return nil, err
-			}
-			if batch == nil {
-				break
+		if !op.earlyStop {
+			for {
+				batch, err := op.child.next()
+				if err != nil {
+					return nil, err
+				}
+				if batch == nil {
+					break
+				}
 			}
 		}
 	}

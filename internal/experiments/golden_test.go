@@ -29,6 +29,7 @@ func goldenTemplates() []goldenTemplate {
 	return []goldenTemplate{
 		{"bsbm-q1", bsbm.Q1(), false},
 		{"bsbm-q2", bsbm.Q2(), false},
+		{"bsbm-q3", bsbm.Q3(), false},
 		{"bsbm-q4", bsbm.Q4(), false},
 		{"snb-q1", snb.Q1(), true},
 		{"snb-q2", snb.Q2(), true},

@@ -103,6 +103,23 @@ func parseLine(line string) (Triple, error) {
 	return Triple{S: s, P: pr, O: o}, nil
 }
 
+// ParseTerm parses a single N-Triples term (<iri>, _:blank, "literal" with
+// optional @lang or ^^<datatype>). Surrounding whitespace is ignored;
+// trailing content is an error. It is the term syntax of queryrun's -bind
+// flags and the query service's JSON bindings.
+func ParseTerm(src string) (Term, error) {
+	p := &lineParser{s: strings.TrimSpace(src)}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if p.i != len(p.s) {
+		return Term{}, fmt.Errorf("trailing content %q after term", p.s[p.i:])
+	}
+	return t, nil
+}
+
 type lineParser struct {
 	s string
 	i int

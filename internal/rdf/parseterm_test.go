@@ -1,0 +1,31 @@
+package rdf
+
+import "testing"
+
+func TestParseTerm(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Term
+	}{
+		{"<http://x/a>", NewIRI("http://x/a")},
+		{"  <http://x/a>\t", NewIRI("http://x/a")},
+		{`"hello"`, NewLiteral("hello")},
+		{`"hi"@en`, NewLangLiteral("hi", "en")},
+		{`"7"^^<http://www.w3.org/2001/XMLSchema#integer>`, NewInteger(7)},
+		{"_:b0", NewBlank("b0")},
+	}
+	for _, c := range cases {
+		got, err := ParseTerm(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if !got.Equal(c.want) {
+			t.Fatalf("%q: got %v want %v", c.src, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "http://x/a", "<http://x/a> trailing", `"unterminated`, "<a> <b>"} {
+		if _, err := ParseTerm(bad); err == nil {
+			t.Fatalf("%q: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// This file implements the service's JSON HTTP API:
+//
+//	POST /query    {"query": "...", "bindings": {...}, "max_rows": n}
+//	POST /prepare  {"name": "...", "query": "..."}
+//	POST /execute  {"name": "...", "bindings": {...}}            (single)
+//	POST /execute  {"name": "...", "batch": [{...}, {...}]}      (batch)
+//	POST /reload   {"path": "new.snap"}
+//	GET  /stats
+//	GET  /healthz
+//
+// Binding values use N-Triples term syntax ("<http://x/T1>", "\"lit\"").
+// Overload rejections are 429, request errors 400, execution errors 500.
+
+type queryRequest struct {
+	Query    string            `json:"query"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+	MaxRows  int               `json:"max_rows,omitempty"`
+}
+
+type prepareRequest struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+type prepareResponse struct {
+	Name   string   `json:"name"`
+	Params []string `json:"params"`
+	Text   string   `json:"text"`
+}
+
+type executeRequest struct {
+	Name     string              `json:"name"`
+	Bindings map[string]string   `json:"bindings,omitempty"`
+	Batch    []map[string]string `json:"batch,omitempty"`
+	MaxRows  int                 `json:"max_rows,omitempty"`
+}
+
+// resultPayload is one execution's JSON rendering. Rows are truncated to
+// MaxRows when requested; RowCount always reports the full result size.
+type resultPayload struct {
+	Vars          []string   `json:"vars"`
+	Rows          [][]string `json:"rows"`
+	RowCount      int        `json:"row_count"`
+	Truncated     bool       `json:"truncated,omitempty"`
+	Cout          float64    `json:"cout"`
+	Work          float64    `json:"work"`
+	Scanned       int        `json:"scanned"`
+	DurationUs    int64      `json:"duration_us"`
+	PlanSignature string     `json:"plan_signature"`
+	CacheHit      bool       `json:"cache_hit"`
+	Generation    uint64     `json:"generation"`
+}
+
+type executeResponse struct {
+	Results []resultPayload `json:"results"`
+}
+
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+type reloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Triples    int    `json:"triples"`
+}
+
+type healthResponse struct {
+	Status     string `json:"status"`
+	Triples    int    `json:"triples"`
+	Generation uint64 `json:"generation"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API as an http.Handler, suitable for
+// cmd/served and for in-process httptest servers.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("POST /execute", s.handleExecute)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	b, err := parseBindingMap(req.Bindings)
+	if err != nil {
+		writeError(w, badInput(err))
+		return
+	}
+	out, err := s.Query(r.Context(), req.Query, b)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload(out, req.MaxRows))
+}
+
+func (s *Service) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	p, err := s.Prepare(req.Name, req.Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	params := make([]string, len(p.Params))
+	for i, pr := range p.Params {
+		params[i] = string(pr)
+	}
+	writeJSON(w, http.StatusOK, prepareResponse{Name: p.Name, Params: params, Text: p.Text})
+}
+
+func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req executeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	p, ok := s.Lookup(req.Name)
+	if !ok {
+		writeError(w, badInput(fmt.Errorf("unknown prepared template %q", req.Name)))
+		return
+	}
+	if len(req.Batch) > 0 && req.Bindings != nil {
+		writeError(w, badInput(errors.New("use either bindings or batch, not both")))
+		return
+	}
+	batch := req.Batch
+	if len(batch) == 0 {
+		batch = []map[string]string{req.Bindings}
+	}
+	bindings := make([]sparql.Binding, len(batch))
+	for i, m := range batch {
+		b, err := parseBindingMap(m)
+		if err != nil {
+			writeError(w, badInput(fmt.Errorf("batch item %d: %w", i, err)))
+			return
+		}
+		bindings[i] = b
+	}
+	outs, err := s.ExecuteBatch(r.Context(), p, bindings)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := executeResponse{Results: make([]resultPayload, len(outs))}
+	for i, out := range outs {
+		resp.Results[i] = payload(out, req.MaxRows)
+	}
+	if len(req.Batch) == 0 {
+		// Single-binding form: return the bare result object.
+		writeJSON(w, http.StatusOK, resp.Results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.AllowReload {
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: "reload disabled (enable with Options.AllowReload / served -allow-reload)"})
+		return
+	}
+	var req reloadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, badInput(errors.New("missing path")))
+		return
+	}
+	gen, triples, err := s.Reload(req.Path)
+	if err != nil {
+		// A path the operator got wrong is a client error; an unreadable or
+		// corrupt file is a server-side data problem and stays a 500.
+		if errors.Is(err, fs.ErrNotExist) {
+			err = badInput(err)
+		}
+		writeError(w, fmt.Errorf("reload %s: %w", req.Path, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{Generation: gen, Triples: triples})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Triples:    s.Store().Len(),
+		Generation: s.Generation(),
+	})
+}
+
+// payload renders an outcome, truncating rows to maxRows when positive.
+func payload(out *Outcome, maxRows int) resultPayload {
+	res := out.Result
+	vars := make([]string, len(res.Vars))
+	for i, v := range res.Vars {
+		vars[i] = "?" + string(v)
+	}
+	// Truncate before decoding so a small max_rows never pays to render a
+	// huge result.
+	raw := res.Rows
+	truncated := false
+	if maxRows > 0 && len(raw) > maxRows {
+		raw = raw[:maxRows]
+		truncated = true
+	}
+	rows := out.decodeRows(raw)
+	return resultPayload{
+		Vars:          vars,
+		Rows:          rows,
+		RowCount:      len(res.Rows),
+		Truncated:     truncated,
+		Cout:          res.Cout,
+		Work:          res.Work,
+		Scanned:       res.Scanned,
+		DurationUs:    res.Duration.Microseconds(),
+		PlanSignature: out.Plan.Signature,
+		CacheHit:      out.CacheHit,
+		Generation:    out.Generation,
+	}
+}
+
+// parseBindingMap converts the JSON binding map (param name -> N-Triples
+// term) into a sparql.Binding.
+func parseBindingMap(m map[string]string) (sparql.Binding, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(sparql.Binding, len(m))
+	for name, src := range m {
+		t, err := rdf.ParseTerm(src)
+		if err != nil {
+			return nil, fmt.Errorf("binding %s: %w", name, err)
+		}
+		out[sparql.Param(name)] = t
+	}
+	return out, nil
+}
+
+// maxBodyBytes caps request bodies: query texts and binding batches are
+// small, and an unbounded body would let clients buy unbounded decode work
+// before admission control sees the request.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, badInput(fmt.Errorf("invalid request body: %w", err)))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service errors onto HTTP statuses: overload to 429 (with
+// a Retry-After hint), request errors to 400, everything else to 500. A
+// cancelled client gets no response body (it is gone).
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client dropped the request; nothing useful to write.
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
+	case IsInputError(err):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499, the conventional
+// code for "client closed request".
+const statusClientClosedRequest = 499

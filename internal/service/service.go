@@ -1,0 +1,525 @@
+// Package service implements a long-lived, concurrency-safe query service
+// over an immutable snapshot-loaded store — the resident-engine layer the
+// one-shot CLIs lack. It provides:
+//
+//   - prepared templates: a query template is parsed once and executed many
+//     times by substituting parameter bindings, never re-parsing;
+//   - a shared plan cache: an LRU keyed by canonical template text plus the
+//     binding's signature (plan.CacheKey), so repeated bindings skip
+//     compilation and DPsub join ordering entirely, with hit/miss/eviction
+//     counters;
+//   - admission control: a bounded worker pool with a request-queue cap and
+//     fast ErrOverloaded (HTTP 429) rejection, keeping the streaming
+//     engine's per-query allocations bounded under load;
+//   - hot snapshot swap: Reload/Swap atomically install a new store while
+//     in-flight queries finish against the old one (each request pins one
+//     snapshot state for its whole execution);
+//   - a JSON HTTP API (Handler): /query, /prepare, /execute, /stats,
+//     /healthz, /reload.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// ErrOverloaded is returned when all workers are busy and the request queue
+// is full. The HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("service: overloaded, request rejected")
+
+// inputError marks errors caused by the request (bad query text, unbound or
+// unknown parameters) rather than by execution; the HTTP layer maps it to
+// 400.
+type inputError struct{ err error }
+
+func (e *inputError) Error() string { return e.err.Error() }
+func (e *inputError) Unwrap() error { return e.err }
+
+func badInput(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &inputError{err: err}
+}
+
+// IsInputError reports whether err was caused by the request itself.
+func IsInputError(err error) bool {
+	var ie *inputError
+	return errors.As(err, &ie)
+}
+
+// Options configures a Service. The zero value means: GOMAXPROCS workers, a
+// queue of 4x the workers, a 1024-entry plan cache, and the exec defaults
+// (streaming engine, exact paper accounting). Use DefaultOptions for the
+// serving-mode defaults (EarlyStop on).
+type Options struct {
+	// Workers bounds concurrent query executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the ones
+	// already running; arrivals past the cap are rejected immediately with
+	// ErrOverloaded. 0 means 4*Workers; negative means no queue (reject as
+	// soon as all workers are busy).
+	QueueDepth int
+	// PlanCacheSize is the shared plan cache's entry capacity. 0 means
+	// 1024; negative disables caching.
+	PlanCacheSize int
+	// Exec are the execution options every query runs with.
+	Exec exec.Options
+	// AllowReload enables the HTTP POST /reload endpoint, which loads any
+	// server-readable path a client names. Off by default — enable only
+	// when the listener is trusted (cmd/served -allow-reload). The
+	// in-process Reload/Swap methods are always available.
+	AllowReload bool
+}
+
+// DefaultOptions returns the serving-mode defaults: streaming engine with
+// EarlyStop, so LIMIT terminates pipelines as soon as possible. Paper
+// experiments that need draining accounting pass exec.Options{} instead.
+func DefaultOptions() Options {
+	return Options{Exec: exec.Options{EarlyStop: true}}
+}
+
+func (o Options) normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.QueueDepth == 0:
+		o.QueueDepth = 4 * o.Workers
+	case o.QueueDepth < 0:
+		o.QueueDepth = 0
+	}
+	switch {
+	case o.PlanCacheSize == 0:
+		o.PlanCacheSize = 1024
+	case o.PlanCacheSize < 0:
+		o.PlanCacheSize = 0
+	}
+	return o
+}
+
+// snapState is one immutable snapshot generation: the store, its plan cache
+// (cached plans embed this store's dictionary IDs, so the cache lives and
+// dies with the snapshot) and bookkeeping. Requests load the pointer once
+// and use the same state for their whole execution, so a concurrent swap
+// never mixes stores mid-query.
+type snapState struct {
+	store  *store.Store
+	gen    uint64
+	source string
+	cache  *planCache
+}
+
+// Prepared is a registered query template: parsed once, executed per
+// binding. Its canonical Text is the plan-cache key component shared with
+// identical ad-hoc queries.
+type Prepared struct {
+	Name   string
+	Text   string // canonical template text (tmpl.String())
+	Params []sparql.Param
+	tmpl   *sparql.Query
+}
+
+// Service is the concurrent query service. Create one with New; all methods
+// are safe for concurrent use.
+type Service struct {
+	opts Options
+
+	state  atomic.Pointer[snapState]
+	swapMu sync.Mutex // serializes Swap/Reload
+
+	cacheCtr cacheCounters
+
+	sem      chan struct{} // worker slots
+	queued   atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Uint64
+
+	prepMu   sync.RWMutex
+	prepared map[string]*Prepared
+
+	statMu    sync.Mutex
+	counts    map[string]uint64
+	errCounts map[string]uint64
+	latency   map[string]*stats.Histogram
+}
+
+// New returns a Service over st. The source string is reported by Stats
+// and /healthz ("" for an in-memory store).
+func New(st *store.Store, source string, opts Options) *Service {
+	opts = opts.normalized()
+	s := &Service{
+		opts:      opts,
+		sem:       make(chan struct{}, opts.Workers),
+		prepared:  make(map[string]*Prepared),
+		counts:    make(map[string]uint64),
+		errCounts: make(map[string]uint64),
+		latency:   make(map[string]*stats.Histogram),
+	}
+	s.state.Store(&snapState{
+		store:  st,
+		gen:    1,
+		source: source,
+		cache:  newPlanCache(opts.PlanCacheSize, &s.cacheCtr),
+	})
+	return s
+}
+
+// Load opens path with store.LoadAny (snapshot or N-Triples, auto-detected)
+// and returns a Service over it.
+func Load(path string, opts Options) (*Service, error) {
+	st, err := store.LoadAny(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(st, path, opts), nil
+}
+
+// Store returns the current snapshot's store.
+func (s *Service) Store() *store.Store { return s.state.Load().store }
+
+// Generation returns the current snapshot generation (starts at 1,
+// incremented by every swap).
+func (s *Service) Generation() uint64 { return s.state.Load().gen }
+
+// Swap atomically installs a new store as the next generation. In-flight
+// queries finish against the snapshot they started with; the plan cache is
+// replaced (its entries embed the old dictionary's IDs) while the
+// cumulative cache counters survive. Returns the new generation.
+func (s *Service) Swap(st *store.Store, source string) uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	gen := s.state.Load().gen + 1
+	s.state.Store(&snapState{
+		store:  st,
+		gen:    gen,
+		source: source,
+		cache:  newPlanCache(s.opts.PlanCacheSize, &s.cacheCtr),
+	})
+	return gen
+}
+
+// Reload loads path (snapshot or N-Triples) and swaps it in, returning the
+// new generation and its triple count (from the loaded store itself, so a
+// racing Reload cannot skew the pair). The load happens outside any lock;
+// queries are served from the old snapshot until the swap point.
+func (s *Service) Reload(path string) (gen uint64, triples int, err error) {
+	st, err := store.LoadAny(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Swap(st, path), st.Len(), nil
+}
+
+// Prepare parses text as a query template and registers it under name.
+// Re-preparing a name replaces the previous template.
+func (s *Service) Prepare(name, text string) (*Prepared, error) {
+	if name == "" {
+		return nil, badInput(fmt.Errorf("service: empty template name"))
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, badInput(err)
+	}
+	p := &Prepared{Name: name, Text: q.String(), Params: q.Params(), tmpl: q}
+	s.prepMu.Lock()
+	s.prepared[name] = p
+	s.prepMu.Unlock()
+	return p, nil
+}
+
+// Lookup returns the prepared template registered under name.
+func (s *Service) Lookup(name string) (*Prepared, bool) {
+	s.prepMu.RLock()
+	defer s.prepMu.RUnlock()
+	p, ok := s.prepared[name]
+	return p, ok
+}
+
+// PreparedNames returns the names of all registered templates.
+func (s *Service) PreparedNames() []string {
+	s.prepMu.RLock()
+	defer s.prepMu.RUnlock()
+	out := make([]string, 0, len(s.prepared))
+	for n := range s.prepared {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Outcome is the service-level result of one execution: the exec result
+// plus the plan that produced it and cache/snapshot provenance.
+type Outcome struct {
+	Result     *exec.Result
+	Plan       *plan.Plan
+	CacheHit   bool
+	Generation uint64
+	// Store is the snapshot the query executed against — decode row IDs
+	// with its dictionary, not the service's current one (a swap may have
+	// happened since).
+	Store *store.Store
+}
+
+// DecodedRows renders the result rows as N-Triples term strings using the
+// executing snapshot's dictionary.
+func (o *Outcome) DecodedRows() [][]string { return o.decodeRows(o.Result.Rows) }
+
+// decodeRows decodes a (possibly truncated) slice of the outcome's rows, so
+// response rendering never pays for rows it will not ship.
+func (o *Outcome) decodeRows(rows [][]dict.ID) [][]string {
+	d := o.Store.Dict()
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, id := range row {
+			cells[j] = d.Decode(id).String()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// Execute runs the prepared template with one binding, through admission
+// control and the plan cache.
+func (s *Service) Execute(ctx context.Context, p *Prepared, b sparql.Binding) (out *Outcome, err error) {
+	start := time.Now()
+	defer func() { s.observe("execute", time.Since(start), err) }()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.run(ctx, s.state.Load(), p.tmpl, p.Text, b)
+}
+
+// ExecuteBatch runs the prepared template once per binding, under a single
+// admission (one worker slot executes the whole batch) and a single
+// snapshot state, so every result of a batch comes from the same store
+// generation.
+func (s *Service) ExecuteBatch(ctx context.Context, p *Prepared, bindings []sparql.Binding) (out []*Outcome, err error) {
+	start := time.Now()
+	defer func() { s.observe("execute", time.Since(start), err) }()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	st := s.state.Load()
+	out = make([]*Outcome, 0, len(bindings))
+	for i, b := range bindings {
+		o, err := s.run(ctx, st, p.tmpl, p.Text, b)
+		if err != nil {
+			return nil, fmt.Errorf("batch item %d: %w", i, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Query is the one-shot path: parse text, bind b (may be nil for fully
+// bound queries) and execute. Identical query texts share plan-cache
+// entries with each other and with prepared templates, since the cache key
+// uses the canonical rendering.
+func (s *Service) Query(ctx context.Context, text string, b sparql.Binding) (out *Outcome, err error) {
+	start := time.Now()
+	defer func() { s.observe("query", time.Since(start), err) }()
+	// Admission comes first — under overload even parsing is work the
+	// fast-reject path must not pay.
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, badInput(err)
+	}
+	return s.run(ctx, s.state.Load(), q, q.String(), b)
+}
+
+// run executes one (template, binding) pair against the pinned snapshot
+// state: plan-cache lookup first, full bind/compile/optimize on a miss.
+func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, text string, b sparql.Binding) (*Outcome, error) {
+	key := plan.CacheKey(text, b)
+	ent, hit := st.cache.get(key)
+	if !hit {
+		bound := tmpl
+		if len(tmpl.Params()) > 0 || len(b) > 0 {
+			var err error
+			bound, err = tmpl.Bind(b)
+			if err != nil {
+				return nil, badInput(err)
+			}
+		}
+		c, err := plan.Compile(bound, st.store)
+		if err != nil {
+			return nil, badInput(err)
+		}
+		p, err := plan.Optimize(c, plan.NewEstimator(st.store))
+		if err != nil {
+			return nil, err
+		}
+		ent = &planEntry{key: key, c: c, p: p}
+		st.cache.put(ent)
+	}
+	res, err := exec.RunCtx(ctx, ent.c, ent.p, st.store, s.opts.Exec)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Result: res, Plan: ent.p, CacheHit: hit, Generation: st.gen, Store: st.store}, nil
+}
+
+// admit acquires a worker slot, waiting in the bounded queue when all
+// workers are busy. It fails fast with ErrOverloaded when the queue is
+// full, and with ctx's error if the caller gives up while queued. The
+// returned release function must be called when the request finishes.
+func (s *Service) admit(ctx context.Context) (func(), error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.opts.QueueDepth) {
+			s.queued.Add(-1)
+			s.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	s.inflight.Add(1)
+	return func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// observe records one finished request — failed ones included, so an error
+// storm is visible in /stats rather than indistinguishable from idleness.
+func (s *Service) observe(endpoint string, d time.Duration, err error) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	h, ok := s.latency[endpoint]
+	if !ok {
+		// 1µs .. 10s in geometric steps — query latencies span orders of
+		// magnitude (cache hit on an empty result vs a cold heavy join).
+		h = stats.NewLogHistogram(0.001, 10_000, 21)
+		s.latency[endpoint] = h
+	}
+	h.Add(ms)
+	s.counts[endpoint]++
+	if err != nil {
+		s.errCounts[endpoint]++
+	}
+}
+
+// CacheStats are the shared plan cache's size and lifetime counters.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// PoolStats describe the admission-control state.
+type PoolStats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	InFlight   int64  `json:"in_flight"`
+	Queued     int64  `json:"queued"`
+	Rejected   uint64 `json:"rejected"`
+}
+
+// StoreStats describe the current snapshot.
+type StoreStats struct {
+	Triples    int    `json:"triples"`
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source,omitempty"`
+}
+
+// HistogramStats is a serialized stats.Histogram: bucket i of Counts covers
+// [Bounds[i-1], Bounds[i]), with open-ended first and last buckets.
+type HistogramStats struct {
+	BoundsMs []float64 `json:"bounds_ms"`
+	Counts   []int     `json:"counts"`
+	Total    int       `json:"total"`
+}
+
+// RequestStats are the per-endpoint request count (failures included),
+// error count and latency histogram.
+type RequestStats struct {
+	Count     uint64         `json:"count"`
+	Errors    uint64         `json:"errors"`
+	LatencyMs HistogramStats `json:"latency_ms"`
+}
+
+// Stats is the full service statistics snapshot returned by /stats.
+type Stats struct {
+	Store    StoreStats              `json:"store"`
+	Cache    CacheStats              `json:"cache"`
+	Pool     PoolStats               `json:"pool"`
+	Prepared []string                `json:"prepared"`
+	Requests map[string]RequestStats `json:"requests"`
+}
+
+// Stats returns a consistent-enough snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	st := s.state.Load()
+	out := Stats{
+		Store: StoreStats{
+			Triples:    st.store.Len(),
+			Generation: st.gen,
+			Source:     st.source,
+		},
+		Cache: CacheStats{
+			Size:      st.cache.size(),
+			Capacity:  s.opts.PlanCacheSize,
+			Hits:      s.cacheCtr.hits.Load(),
+			Misses:    s.cacheCtr.misses.Load(),
+			Evictions: s.cacheCtr.evictions.Load(),
+		},
+		Pool: PoolStats{
+			Workers:    s.opts.Workers,
+			QueueDepth: s.opts.QueueDepth,
+			InFlight:   s.inflight.Load(),
+			Queued:     s.queued.Load(),
+			Rejected:   s.rejected.Load(),
+		},
+		Prepared: s.PreparedNames(),
+		Requests: make(map[string]RequestStats),
+	}
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	for name, h := range s.latency {
+		out.Requests[name] = RequestStats{
+			Count:  s.counts[name],
+			Errors: s.errCounts[name],
+			LatencyMs: HistogramStats{
+				BoundsMs: append([]float64(nil), h.Bounds...),
+				Counts:   append([]int(nil), h.Counts...),
+				Total:    h.Total(),
+			},
+		}
+	}
+	return out
+}

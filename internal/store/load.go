@@ -1,0 +1,38 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+)
+
+// LoadAny builds a store from path, auto-detecting the format: binary
+// snapshots (any version) are recognized by their "RDFSNAP" magic, anything
+// else is parsed as N-Triples. It is the one loading path shared by
+// cmd/queryrun, cmd/benchrun and cmd/served.
+func LoadAny(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadAnyReader(f)
+}
+
+// LoadAnyReader is LoadAny over an already-open reader. The format sniff
+// reads the first 8 bytes and stitches them back with io.MultiReader, so
+// non-seekable inputs (pipes, process substitution) work too.
+func LoadAnyReader(r io.Reader) (*Store, error) {
+	var magic [8]byte
+	n, _ := io.ReadFull(r, magic[:])
+	full := io.MultiReader(bytes.NewReader(magic[:n]), r)
+	if n == 8 && strings.HasPrefix(string(magic[:]), "RDFSNAP") {
+		return ReadSnapshot(full)
+	}
+	b := NewBuilder()
+	if err := b.LoadNTriples(full); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

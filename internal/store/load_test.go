@@ -1,0 +1,65 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestLoadAnyAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+
+	ntPath := filepath.Join(dir, "data.nt")
+	nt := `<http://x/a> <http://x/p> <http://x/b> .
+<http://x/b> <http://x/p> <http://x/c> .
+`
+	if err := os.WriteFile(ntPath, []byte(nt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromNT, err := LoadAny(ntPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromNT.Len() != 2 {
+		t.Fatalf("nt: %d triples", fromNT.Len())
+	}
+
+	// The same data as v1 and v2 snapshots loads identically.
+	for _, version := range []int{1, 2} {
+		path := filepath.Join(dir, "data.snap")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fromNT.WriteSnapshotVersion(f, version); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fromSnap, err := LoadAny(path)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if fromSnap.Len() != fromNT.Len() {
+			t.Fatalf("v%d: %d triples", version, fromSnap.Len())
+		}
+		pid, ok := fromSnap.Dict().Lookup(rdf.NewIRI("http://x/p"))
+		if !ok || fromSnap.Count(Pattern{P: pid}) != 2 {
+			t.Fatalf("v%d: predicate lookup broken", version)
+		}
+	}
+
+	if _, err := LoadAny(filepath.Join(dir, "missing.nt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.nt")
+	if err := os.WriteFile(bad, []byte("not ntriples at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAny(bad); err == nil {
+		t.Fatal("malformed N-Triples must error")
+	}
+}
