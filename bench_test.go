@@ -702,6 +702,121 @@ func BenchmarkDatasetGenerationSNB(b *testing.B) {
 	}
 }
 
+// --- Morsel-driven intra-query parallelism -----------------------------------
+
+var (
+	parEnvOnce sync.Once
+	parStore   *store.Store
+	parBinding sparql.Binding
+	parErr     error
+)
+
+// benchParallelSetup builds the parallelism bench environment once: a BSBM
+// store scaled so the Q3 drill-down has real intra-query work (offer-heavy,
+// with enough vendors per country that the plan's source scan splits into
+// dozens of morsels), plus the broadest Q3 binding over it — the heavy
+// drill-down that intra-query parallelism exists to speed up
+// (benchServeBinding picks the opposite extreme for the plan-cache
+// dispatch benches).
+func benchParallelSetup(b *testing.B) (*store.Store, sparql.Binding) {
+	b.Helper()
+	parEnvOnce.Do(func() {
+		cfg := bsbm.TestConfig()
+		cfg.Products = 6000
+		cfg.Vendors = 480 // 48 per country (round-robin over 10 codes)
+		cfg.OffersPerProduct = 8
+		cfg.ReviewsPerProduct = 0 // reviews play no part in Q3
+		cfg.Seed = 11
+		st, data, err := bsbm.BuildStore(cfg)
+		if err != nil {
+			parErr = err
+			return
+		}
+		parStore = st
+		// Broadest binding: the most executed work over one feature per
+		// type (the type choice dominates the work spread) and two
+		// countries.
+		tmpl := bsbm.Q3()
+		best := -1.0
+		for i, n := range data.Types {
+			if len(n.Features) == 0 {
+				continue
+			}
+			for _, code := range []string{"US", "KR"} {
+				binding := sparql.Binding{
+					"ProductType": bsbm.TypeIRI(i),
+					"Feature":     n.Features[0],
+					"Country":     bsbm.CountryIRI(code),
+				}
+				bound, err := tmpl.Bind(binding)
+				if err != nil {
+					parErr = err
+					return
+				}
+				res, _, err := exec.Query(bound, st, exec.Options{})
+				if err != nil {
+					parErr = err
+					return
+				}
+				if res.Work > best {
+					best = res.Work
+					parBinding = binding
+				}
+			}
+		}
+		if parBinding == nil {
+			parErr = fmt.Errorf("no type with features in the parallel bench dataset")
+		}
+	})
+	if parErr != nil {
+		b.Fatal(parErr)
+	}
+	return parStore, parBinding
+}
+
+// benchExecParallel times plan execution only (compile+optimize hoisted)
+// of the broad Q3 drill-down at the given intra-query parallelism. Rows
+// and the Work/Cout/Scanned accounting are bit-identical across the
+// BenchmarkExecParallel1/2/8 family — only wall-clock changes.
+func benchExecParallel(b *testing.B, par int) {
+	st, binding := benchParallelSetup(b)
+	bound, err := bsbm.Q3().Bind(binding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := plan.Compile(bound, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Optimize(c, plan.NewEstimator(st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exec.Options{Parallelism: par}
+	b.ResetTimer()
+	var res *exec.Result
+	for i := 0; i < b.N; i++ {
+		res, err = exec.Run(c, p, st, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Rows)), "rows")
+	b.ReportMetric(res.Work, "work")
+	b.ReportMetric(float64(res.Morsels), "morsels")
+	b.ReportMetric(float64(res.Workers), "workers")
+}
+
+// BenchmarkExecParallel1 is the serial baseline of the parallelism family.
+func BenchmarkExecParallel1(b *testing.B) { benchExecParallel(b, 1) }
+
+// BenchmarkExecParallel2 runs the same pipeline on up to 2 workers.
+func BenchmarkExecParallel2(b *testing.B) { benchExecParallel(b, 2) }
+
+// BenchmarkExecParallel8 runs the same pipeline on up to 8 workers; the
+// acceptance target is >= 2x over BenchmarkExecParallel1.
+func BenchmarkExecParallel8(b *testing.B) { benchExecParallel(b, 8) }
+
 // --- Query service -----------------------------------------------------------
 
 // benchServeSetup builds a query service over the BSBM store with the given

@@ -37,21 +37,22 @@ func main() {
 		merge   = flag.Bool("mergejoin", false, "use sort-merge joins for interior joins")
 		mat     = flag.Bool("materialize", false, "use the materializing engine instead of the streaming one")
 		push    = flag.Bool("pushfilters", false, "push single-variable filters below the joins (streaming engine)")
+		par     = flag.Int("parallelism", 1, "intra-query workers for morsel-driven parallel pipelines (1 = serial; measured work/Cout stay bit-identical at any setting)")
 		snap    = flag.String("snapshot", "", "load the store from this snapshot or N-Triples file instead of generating")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *snap, *groups, *n, *seed, *greedy, *merge, *mat, *push); err != nil {
+	if err := run(os.Stdout, *dataset, *scale, *query, *mode, *snap, *groups, *n, *seed, *par, *greedy, *merge, *mat, *push); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dataset, scale, query, mode, snapshot string, groups, n int, seed int64, greedy, merge, materialize, pushFilters bool) error {
+func run(w io.Writer, dataset, scale, query, mode, snapshot string, groups, n int, seed int64, parallelism int, greedy, merge, materialize, pushFilters bool) error {
 	st, tmpl, name, err := load(dataset, scale, query, seed, snapshot)
 	if err != nil {
 		return err
 	}
-	opts := exec.Options{PushFilters: pushFilters}
+	opts := exec.Options{PushFilters: pushFilters, Parallelism: parallelism}
 	if merge {
 		opts.Join = exec.SortMergeJoin
 	}

@@ -48,6 +48,7 @@ type config struct {
 	materialize bool
 	mergeJoin   bool
 	pushFilters bool
+	parallelism int
 	maxRows     int
 }
 
@@ -65,6 +66,7 @@ func main() {
 	flag.BoolVar(&cfg.materialize, "materialize", false, "use the materializing engine instead of the streaming one")
 	flag.BoolVar(&cfg.mergeJoin, "mergejoin", false, "use sort-merge joins for interior joins")
 	flag.BoolVar(&cfg.pushFilters, "pushfilters", false, "push single-variable filters below the joins (streaming engine)")
+	flag.IntVar(&cfg.parallelism, "parallelism", 1, "intra-query workers for morsel-driven parallel pipelines (1 = serial; results are bit-identical at any setting)")
 	flag.IntVar(&cfg.maxRows, "maxrows", 50, "result rows to print (0 = all)")
 	flag.Var(&binds, "bind", "parameter binding name=term (repeatable)")
 	flag.Parse()
@@ -130,7 +132,7 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	opts := exec.Options{PushFilters: cfg.pushFilters}
+	opts := exec.Options{PushFilters: cfg.pushFilters, Parallelism: cfg.parallelism}
 	if cfg.materialize {
 		opts.Mode = exec.Materializing
 	}
@@ -155,6 +157,9 @@ func run(w io.Writer, cfg config) error {
 	}
 	fmt.Fprintf(w, "%d rows in %v (Cout %.0f, work %.0f, scanned %d)\n",
 		len(res.Rows), res.Duration, res.Cout, res.Work, res.Scanned)
+	if res.Morsels > 0 {
+		fmt.Fprintf(w, "parallel: %d morsels on up to %d workers\n", res.Morsels, res.Workers)
+	}
 	// Header.
 	cols := make([]string, len(res.Vars))
 	for i, v := range res.Vars {

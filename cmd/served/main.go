@@ -39,8 +39,9 @@ func main() {
 	var (
 		data    = flag.String("data", "", "N-Triples (.nt) or snapshot file (required)")
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (bind non-loopback only on trusted networks)")
-		workers = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "shared CPU budget: max concurrent query executions plus intra-query workers (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "max queued requests beyond running ones (0 = 4x workers, negative = no queue)")
+		par     = flag.Int("parallelism", 1, "per-query intra-query worker ceiling; extra workers are drawn from the shared -workers token pool (1 = serial, paper-experiment semantics)")
 		cache   = flag.Int("cache", 0, "plan cache entries (0 = 1024, negative = disabled)")
 		exact   = flag.Bool("exact-accounting", false, "drain LIMIT pipelines for paper-exact Cout/Work accounting instead of stopping early")
 		reload  = flag.Bool("allow-reload", false, "enable POST /reload (loads any server-readable path a client names)")
@@ -53,6 +54,7 @@ func main() {
 	opts := service.DefaultOptions()
 	opts.Workers = *workers
 	opts.QueueDepth = *queue
+	opts.Parallelism = *par
 	opts.PlanCacheSize = *cache
 	opts.AllowReload = *reload
 	if *exact {

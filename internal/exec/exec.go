@@ -69,6 +69,35 @@ type Options struct {
 	// the materializing engine. Off by default (all paper experiments keep
 	// the draining behavior); the query service turns it on.
 	EarlyStop bool
+	// Parallelism is the per-query worker budget for morsel-driven
+	// intra-query parallelism: parallelism-eligible pipelines (see
+	// plan.PhysNode.ParallelSource) fan their source morsels across up to
+	// this many workers, and hash joins probe their shared read-only build
+	// table from up to this many workers. Results — rows, row order and the
+	// full Cout/Work/Scanned accounting — are bit-identical to Parallelism
+	// <= 1 (per-morsel outputs and counters are merged in morsel order, and
+	// every counter increment is per-tuple, independent of batching). 0 or
+	// 1 (the default) executes serially, preserving paper-experiment
+	// semantics exactly.
+	//
+	// One caveat: a parallel pipeline runs its morsels to completion before
+	// anything downstream observes output, so under EarlyStop a LIMIT can
+	// no longer cut a pipeline short mid-stream — rows are unchanged but
+	// the accounting may exceed the serial EarlyStop run's. With EarlyStop
+	// off (the default), accounting is bit-identical at every worker count.
+	Parallelism int
+	// MorselSize is the number of source triples per morsel (0 = 4096).
+	// Smaller morsels improve load balancing and let small inputs exercise
+	// the parallel path; the choice never affects results or accounting.
+	MorselSize int
+	// Pool, when set, is the shared CPU budget the executor draws extra
+	// workers from: each worker beyond the query's own goroutine requires
+	// one TryAcquire'd token, released when the pipeline finishes. A query
+	// always makes progress on its own goroutine even when the pool is
+	// exhausted — Parallelism is then a ceiling, not a demand. The query
+	// service points this at its admission pool so intra-query workers and
+	// concurrent queries respect one budget.
+	Pool *TokenPool
 }
 
 // Result is the outcome of one query execution.
@@ -79,6 +108,16 @@ type Result struct {
 	Work     float64       // deterministic work units: scanned + built + probed + emitted tuples
 	Duration time.Duration // wall-clock execution time
 	Scanned  int           // tuples read from indexes
+	// Morsels is the number of source morsels executed by parallel
+	// operators (0 when the query ran serially). Excluded from the
+	// bit-identical golden comparison: it describes the schedule, not the
+	// result.
+	Morsels int
+	// Workers is the largest worker count any parallel operator of this
+	// query ran with (0 when the query ran serially). Like Morsels it
+	// describes the schedule; the service aggregates it into per-query
+	// worker-utilization stats.
+	Workers int
 }
 
 // relation is an intermediate table: a schema plus rows.
@@ -98,22 +137,37 @@ func (r *relation) colIndex(v sparql.Var) int {
 
 // executor carries per-run state.
 type executor struct {
-	st   *store.Store
-	ctx  context.Context
-	opts Options
-	cout float64
-	work float64
-	scan int
+	st      *store.Store
+	ctx     context.Context
+	opts    Options
+	cout    float64
+	work    float64
+	scan    int
+	morsels int // morsels executed by parallel operators
+	workers int // max workers any parallel operator ran with
 }
 
 // cancelled returns the context's error once the run's context is done.
-// Operators check it per batch, so a dropped client aborts a streaming
-// pull within one batch of work.
+// Operators check it per batch, and the blocking join/sort kernels check
+// it every cancelCheckRows tuples, so a dropped client aborts both a
+// streaming pull and a pipeline breaker mid-build within bounded work.
 func (ex *executor) cancelled() error {
 	if ex.ctx == nil {
 		return nil
 	}
 	return ex.ctx.Err()
+}
+
+// cancelCheckRows is how many tuples a blocking kernel (hash build/probe,
+// merge, cross product, sort) processes between context polls.
+const cancelCheckRows = 4096
+
+// parallelism returns the effective worker ceiling for this run.
+func (ex *executor) parallelism() int {
+	if ex.opts.Parallelism < 1 {
+		return 1
+	}
+	return ex.opts.Parallelism
 }
 
 // Run executes the plan p for compiled query c against st with the engine
@@ -146,6 +200,8 @@ func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store
 		Work:     ex.work,
 		Duration: time.Since(start),
 		Scanned:  ex.scan,
+		Morsels:  ex.morsels,
+		Workers:  ex.workers,
 	}, nil
 }
 
@@ -197,20 +253,20 @@ func (ex *executor) evalJoin(n *plan.Node) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ex.joinWithLeaf(outer, right.Leaf), nil
+		return ex.joinWithLeaf(outer, right.Leaf)
 	case left.IsLeaf() && !right.IsLeaf():
 		outer, err := ex.eval(right)
 		if err != nil {
 			return nil, err
 		}
-		return ex.joinWithLeaf(outer, left.Leaf), nil
+		return ex.joinWithLeaf(outer, left.Leaf)
 	case left.IsLeaf() && right.IsLeaf():
 		// Materialize the smaller (by estimated cardinality), probe the
 		// other through the index.
 		if left.Card <= right.Card {
-			return ex.joinWithLeaf(ex.scanLeaf(left.Leaf), right.Leaf), nil
+			return ex.joinWithLeaf(ex.scanLeaf(left.Leaf), right.Leaf)
 		}
-		return ex.joinWithLeaf(ex.scanLeaf(right.Leaf), left.Leaf), nil
+		return ex.joinWithLeaf(ex.scanLeaf(right.Leaf), left.Leaf)
 	default:
 		l, err := ex.eval(left)
 		if err != nil {
@@ -220,7 +276,7 @@ func (ex *executor) evalJoin(n *plan.Node) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ex.join(l, r), nil
+		return ex.join(l, r)
 	}
 }
 
@@ -230,14 +286,19 @@ func (ex *executor) evalJoin(n *plan.Node) (*relation, error) {
 // variable is shared (a cross product) it falls back to materializing the
 // leaf. The probe plumbing (buildProbePlan) is shared with the streaming
 // probe operator.
-func (ex *executor) joinWithLeaf(outer *relation, leaf *plan.CompiledPattern) *relation {
+func (ex *executor) joinWithLeaf(outer *relation, leaf *plan.CompiledPattern) (*relation, error) {
 	pp := buildProbePlan(outer.vars, leaf)
 	if !pp.anyShared || leaf.Missing {
 		// Cross product (or empty leaf): materialize and defer to join.
 		return ex.join(outer, ex.scanLeaf(leaf))
 	}
 	out := &relation{vars: pp.outVars}
-	for _, row := range outer.rows {
+	for i, row := range outer.rows {
+		if i%cancelCheckRows == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		pat, conflict := pp.bind(row)
 		ex.work++ // index probe
 		if conflict {
@@ -252,7 +313,7 @@ func (ex *executor) joinWithLeaf(outer *relation, leaf *plan.CompiledPattern) *r
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // scanLeaf materializes a triple-pattern scan into a relation over the
@@ -280,7 +341,7 @@ func (ex *executor) scanLeaf(cp *plan.CompiledPattern) *relation {
 
 // join dispatches to the configured join algorithm; inputs with no shared
 // variables produce a cross product (nested loop).
-func (ex *executor) join(l, r *relation) *relation {
+func (ex *executor) join(l, r *relation) (*relation, error) {
 	shared := sharedCols(l, r)
 	if len(shared) == 0 {
 		return ex.crossProduct(l, r)
@@ -318,7 +379,7 @@ func outputSchema(l, r *relation) (vars []sparql.Var, rightCopy []int) {
 	return vars, rightCopy
 }
 
-func (ex *executor) hashJoin(l, r *relation, shared [][2]int) *relation {
+func (ex *executor) hashJoin(l, r *relation, shared [][2]int) (*relation, error) {
 	// Build on the smaller side.
 	swapped := false
 	if len(r.rows) < len(l.rows) {
@@ -341,21 +402,75 @@ func (ex *executor) hashJoin(l, r *relation, shared [][2]int) *relation {
 		return k
 	}
 	table := make(map[key][][]dict.ID, len(l.rows))
-	for _, row := range l.rows {
+	for i, row := range l.rows {
+		if i%cancelCheckRows == 0 {
+			// The build side can be huge: poll the context mid-build so a
+			// dropped client aborts the pipeline breaker, not just the
+			// batch pulls that fed it.
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		k := mk(row, 0)
 		table[k] = append(table[k], row)
 	}
 	ex.work += float64(len(l.rows)) // build cost
 	vars, rightCopy := schemaFor(l, r, swapped)
 	out := &relation{vars: vars}
-	for _, rrow := range r.rows {
-		ex.work++ // probe cost
-		for _, lrow := range table[mk(rrow, 1)] {
-			out.rows = append(out.rows, combineRows(lrow, rrow, rightCopy, swapped, len(vars)))
-			ex.work++ // emit cost
+	// probeRows probes the shared read-only table with a slice of probe
+	// rows, charging probe/emit work to cx. One code path serves the serial
+	// probe and every parallel morsel, so their per-tuple accounting and
+	// output order cannot diverge.
+	probeRows := func(cx *executor, rows [][]dict.ID) ([][]dict.ID, error) {
+		var dst [][]dict.ID
+		steps := 0
+		for _, rrow := range rows {
+			steps++
+			if steps%cancelCheckRows == 0 {
+				if err := cx.cancelled(); err != nil {
+					return nil, err
+				}
+			}
+			cx.work++ // probe cost
+			for _, lrow := range table[mk(rrow, 1)] {
+				dst = append(dst, combineRows(lrow, rrow, rightCopy, swapped, len(vars)))
+				cx.work++ // emit cost
+			}
+		}
+		return dst, nil
+	}
+	// Build once, probe in parallel: the table is read-only from here on,
+	// so probe morsels only share immutable state. Merging per-morsel
+	// outputs and counters in morsel order reproduces the serial probe
+	// loop bit-for-bit.
+	if ex.parallelism() > 1 {
+		if morsels := morselize(len(r.rows), ex.morselSize()); len(morsels) > 1 {
+			outs := make([][][]dict.ID, len(morsels))
+			counters := make([]execCounters, len(morsels))
+			workers, err := ex.runMorsels(len(morsels), func(i int) error {
+				wex := ex.workerExecutor()
+				rows, err := probeRows(wex, r.rows[morsels[i][0]:morsels[i][1]])
+				if err != nil {
+					return err
+				}
+				outs[i] = rows
+				counters[i] = wex.counters()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ex.mergeMorsels(counters, workers)
+			out.rows = mergeRowBuffers(outs)
+			return out, nil
 		}
 	}
-	return out
+	rows, err := probeRows(ex, r.rows)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = rows
+	return out, nil
 }
 
 // schemaFor computes the output schema preserving the original left/right
@@ -387,7 +502,8 @@ func combineRows(buildRow, probeRow []dict.ID, extraCopy []int, swapped bool, wi
 	return out
 }
 
-func (ex *executor) mergeJoin(l, r *relation, shared [][2]int) *relation {
+func (ex *executor) mergeJoin(l, r *relation, shared [][2]int) (out *relation, err error) {
+	defer recoverSortAbort(&err)
 	lk := func(row []dict.ID) []dict.ID {
 		k := make([]dict.ID, len(shared))
 		for i, sc := range shared {
@@ -415,13 +531,22 @@ func (ex *executor) mergeJoin(l, r *relation, shared [][2]int) *relation {
 	}
 	lrows := append([][]dict.ID(nil), l.rows...)
 	rrows := append([][]dict.ID(nil), r.rows...)
-	sort.Slice(lrows, func(i, j int) bool { return cmp(lk(lrows[i]), lk(lrows[j])) < 0 })
-	sort.Slice(rrows, func(i, j int) bool { return cmp(rk(rrows[i]), rk(rrows[j])) < 0 })
+	// The sorts buffer the entire inputs: poll the context from inside the
+	// comparators so a cancelled run unwinds mid-sort.
+	sort.Slice(lrows, ex.lessWithCancel(func(i, j int) bool { return cmp(lk(lrows[i]), lk(lrows[j])) < 0 }))
+	sort.Slice(rrows, ex.lessWithCancel(func(i, j int) bool { return cmp(rk(rrows[i]), rk(rrows[j])) < 0 }))
 	ex.work += float64(len(lrows) + len(rrows)) // sort pass (linear proxy)
 	vars, rightCopy := outputSchema(l, r)
-	out := &relation{vars: vars}
+	out = &relation{vars: vars}
+	steps := 0
 	i, j := 0, 0
 	for i < len(lrows) && j < len(rrows) {
+		steps++
+		if steps%cancelCheckRows == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		c := cmp(lk(lrows[i]), rk(rrows[j]))
 		switch {
 		case c < 0:
@@ -440,6 +565,12 @@ func (ex *executor) mergeJoin(l, r *relation, shared [][2]int) *relation {
 			}
 			for x := i; x < i2; x++ {
 				for y := j; y < j2; y++ {
+					steps++
+					if steps%cancelCheckRows == 0 {
+						if err := ex.cancelled(); err != nil {
+							return nil, err
+						}
+					}
 					out.rows = append(out.rows, combineRows(lrows[x], rrows[y], rightCopy, false, len(vars)))
 					ex.work++
 				}
@@ -447,17 +578,30 @@ func (ex *executor) mergeJoin(l, r *relation, shared [][2]int) *relation {
 			i, j = i2, j2
 		}
 	}
-	return out
+	return out, nil
 }
 
-func (ex *executor) crossProduct(l, r *relation) *relation {
+func (ex *executor) crossProduct(l, r *relation) (*relation, error) {
 	vars, rightCopy := outputSchema(l, r)
 	out := &relation{vars: vars}
+	steps := 0
 	for _, lrow := range l.rows {
+		steps++
+		if steps%cancelCheckRows == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		for _, rrow := range r.rows {
+			steps++
+			if steps%cancelCheckRows == 0 {
+				if err := ex.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			out.rows = append(out.rows, combineRows(lrow, rrow, rightCopy, false, len(vars)))
 			ex.work++
 		}
 	}
-	return out
+	return out, nil
 }

@@ -158,7 +158,7 @@ func (ex *executor) finish(rel *relation, q *sparql.Query) (*relation, error) {
 	// ORDER BY runs on the pre-projection schema (sort keys need not be
 	// selected).
 	if len(q.OrderBy) > 0 {
-		if err := sortRowsByKeys(ex.st.Dict(), rel, q.OrderBy); err != nil {
+		if err := sortRowsByKeys(ex, rel, q.OrderBy); err != nil {
 			return nil, err
 		}
 		ex.work += float64(len(rel.rows))

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// TokenPool is a shared CPU budget: every concurrently running unit of
+// CPU-bound work holds one token. The query service acquires one token per
+// admitted query (blocking, queue semantics), and parallel pipeline drivers
+// opportunistically TryAcquire extra tokens for their additional workers —
+// so intra-query parallelism and inter-query concurrency jointly respect
+// one budget instead of multiplying. Opportunistic grabs never block and
+// never starve admission: a blocked Acquire is a parked channel send that
+// the runtime hands the next released token directly, while TryAcquire
+// only wins tokens nobody is waiting for.
+//
+// The zero-capacity rule is intentional baseline-liveness: holders of an
+// admission token make progress with zero extra tokens (a pipeline always
+// runs with at least its own goroutine), so the pool cannot deadlock.
+type TokenPool struct {
+	tokens chan struct{}
+	waits  atomic.Uint64 // blocking acquisitions that had to wait
+	waitNs atomic.Int64  // total time spent waiting in Acquire
+}
+
+// NewTokenPool returns a pool of n tokens. n < 1 is clamped to 1.
+func NewTokenPool(n int) *TokenPool {
+	if n < 1 {
+		n = 1
+	}
+	return &TokenPool{tokens: make(chan struct{}, n)}
+}
+
+// Capacity returns the pool's token count.
+func (p *TokenPool) Capacity() int { return cap(p.tokens) }
+
+// InUse returns how many tokens are currently held.
+func (p *TokenPool) InUse() int { return len(p.tokens) }
+
+// TryAcquire takes a token without blocking, reporting success. It fails
+// whenever the pool is exhausted or another goroutine is blocked in
+// Acquire, so opportunistic intra-query workers always yield to admission.
+func (p *TokenPool) TryAcquire() bool {
+	select {
+	case p.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire takes a token, blocking until one frees up or ctx is done. Wait
+// time (including aborted waits) is recorded for WaitStats.
+func (p *TokenPool) Acquire(ctx context.Context) error {
+	if p.TryAcquire() {
+		return nil
+	}
+	start := time.Now()
+	defer func() {
+		p.waits.Add(1)
+		p.waitNs.Add(int64(time.Since(start)))
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case p.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns one token to the pool. Releasing more tokens than were
+// acquired is a programming error and panics.
+func (p *TokenPool) Release() {
+	select {
+	case <-p.tokens:
+	default:
+		panic("exec: TokenPool.Release without a matching acquire")
+	}
+}
+
+// WaitStats returns how many Acquire calls had to wait and the total time
+// spent waiting (aborted waits included).
+func (p *TokenPool) WaitStats() (waits uint64, waited time.Duration) {
+	return p.waits.Load(), time.Duration(p.waitNs.Load())
+}

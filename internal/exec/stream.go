@@ -68,8 +68,20 @@ func (ex *executor) runStreaming(c *plan.Compiled, p *plan.Plan) (*relation, err
 	}
 }
 
-// build constructs the operator for one physical node.
+// build constructs the operator for one physical node. A node marked by
+// the lowering as the top of a parallelism-eligible pipeline becomes a
+// morsel-driven parallel operator when the run's Parallelism allows it;
+// everything else (and every node inside such a pipeline) is built by
+// buildNode.
 func (ex *executor) build(n *plan.PhysNode) (operator, error) {
+	if ex.parallelism() > 1 && n.ParallelSource != nil {
+		return ex.newParallelOp(n)
+	}
+	return ex.buildNode(n)
+}
+
+// buildNode constructs the serial operator for one physical node.
+func (ex *executor) buildNode(n *plan.PhysNode) (operator, error) {
 	switch n.Op {
 	case plan.PhysIndexScan:
 		return newScanOp(ex, n.Leaf), nil
@@ -456,11 +468,14 @@ func (op *joinOp) next() ([][]dict.ID, error) {
 		shared := sharedCols(l, r)
 		switch {
 		case op.op == plan.PhysCross || len(shared) == 0:
-			out = op.ex.crossProduct(l, r)
+			out, err = op.ex.crossProduct(l, r)
 		case op.op == plan.PhysMergeJoin:
-			out = op.ex.mergeJoin(l, r, shared)
+			out, err = op.ex.mergeJoin(l, r, shared)
 		default:
-			out = op.ex.hashJoin(l, r, shared)
+			out, err = op.ex.hashJoin(l, r, shared)
+		}
+		if err != nil {
+			return nil, err
 		}
 		op.ex.cout += float64(len(out.rows))
 		op.outVars = out.vars
@@ -534,7 +549,7 @@ func (op *orderOp) next() ([][]dict.ID, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sortRowsByKeys(op.ex.st.Dict(), rel, op.keys); err != nil {
+		if err := sortRowsByKeys(op.ex, rel, op.keys); err != nil {
 			return nil, err
 		}
 		op.ex.work += float64(len(rel.rows))
@@ -552,9 +567,13 @@ func (op *orderOp) next() ([][]dict.ID, error) {
 	return batch, nil
 }
 
-// sortRowsByKeys stably sorts rel.rows by the ORDER BY keys, exactly as
-// the materializing finish step does.
-func sortRowsByKeys(d *dict.Dict, rel *relation, keys []sparql.OrderKey) error {
+// sortRowsByKeys stably sorts rel.rows by the ORDER BY keys, shared by the
+// streaming Order operator and the materializing finish step. The sort
+// buffers the whole input, so the run's context is polled from inside the
+// comparator: a dropped client aborts mid-sort instead of waiting out a
+// huge ORDER BY.
+func sortRowsByKeys(ex *executor, rel *relation, keys []sparql.OrderKey) (err error) {
+	d := ex.st.Dict()
 	cols := make([]int, len(keys))
 	for i, k := range keys {
 		ci := rel.colIndex(k.Var)
@@ -563,7 +582,8 @@ func sortRowsByKeys(d *dict.Dict, rel *relation, keys []sparql.OrderKey) error {
 		}
 		cols[i] = ci
 	}
-	sort.SliceStable(rel.rows, func(i, j int) bool {
+	defer recoverSortAbort(&err)
+	sort.SliceStable(rel.rows, ex.lessWithCancel(func(i, j int) bool {
 		for x, ci := range cols {
 			a, b := rel.rows[i][ci], rel.rows[j][ci]
 			if a == b {
@@ -579,7 +599,7 @@ func sortRowsByKeys(d *dict.Dict, rel *relation, keys []sparql.OrderKey) error {
 			return c < 0
 		}
 		return false
-	})
+	}))
 	return nil
 }
 

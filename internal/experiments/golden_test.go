@@ -213,3 +213,39 @@ func TestGoldenParallelCuration(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenParallelMatchesSerial: over every BSBM/SNB template with
+// curated bindings, morsel-driven execution at Parallelism 2 and 8 must be
+// bit-identical to the serial streaming run — same Vars, same Rows in the
+// same order, same measured Cout, Work and Scanned. A small MorselSize
+// forces genuine multi-morsel parallelism at test scale; the morsel size
+// never affects results, only the schedule.
+func TestGoldenParallelMatchesSerial(t *testing.T) {
+	env := sharedEnv(t)
+	for _, g := range goldenTemplates() {
+		st := env.BSBM
+		if g.snb {
+			st = env.SNB
+		}
+		bindings := curatedBindings(t, g.tmpl, st, 3)
+		for bi, b := range bindings {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			serial, _, err := exec.Query(bound, st, exec.Options{})
+			if err != nil {
+				t.Fatalf("%s binding %d serial: %v", g.name, bi, err)
+			}
+			for _, par := range []int{2, 8} {
+				res, _, err := exec.Query(bound, st, exec.Options{Parallelism: par, MorselSize: 128})
+				if err != nil {
+					t.Fatalf("%s binding %d parallelism %d: %v", g.name, bi, par, err)
+				}
+				if err := equalResults(res, serial); err != nil {
+					t.Errorf("%s binding %d parallelism %d: %v", g.name, bi, par, err)
+				}
+			}
+		}
+	}
+}

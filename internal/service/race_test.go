@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bsbm"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/rdf"
 	"repro/internal/snb"
 	"repro/internal/sparql"
@@ -187,5 +188,105 @@ func TestConcurrentExecutionWithSwap(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestParallelMixedWorkloadRace runs one large scan-heavy query at
+// Parallelism=8 concurrently with the PR-3 mixed BSBM/SNB workload against
+// one shared store and one shared token pool (run under -race). Exec
+// options use exact accounting (no EarlyStop), so every canonical result —
+// rows, row order, Cout, Work, Scanned — must be byte-identical both
+// across concurrent parallel executions and to the Parallelism=1 reference
+// service: morsel-driven execution is bit-deterministic regardless of
+// scheduling and of how many pool tokens each run managed to grab.
+func TestParallelMixedWorkloadRace(t *testing.T) {
+	st := buildMixedStore(t)
+	mkOpts := func(par int) Options {
+		return Options{
+			Workers:     4,
+			QueueDepth:  1 << 16,
+			Parallelism: par,
+			// Small morsels so the test-scale store genuinely splits.
+			Exec: exec.Options{MorselSize: 128},
+		}
+	}
+	svc := New(st, "", mkOpts(8))
+	ref := New(st, "", mkOpts(1))
+	items := buildMixedWorkload(t, svc, st, 3)
+	refItems := buildMixedWorkload(t, ref, st, 3)
+
+	const bigQuery = `SELECT * WHERE { ?s ?p ?o . }`
+
+	// Serial reference canonicals, from the Parallelism=1 service.
+	want := make(map[string]string, len(items))
+	for i, it := range refItems {
+		out, err := ref.Execute(context.Background(), it.prep, it.bind)
+		if err != nil {
+			t.Fatalf("reference %s: %v", it.key, err)
+		}
+		want[items[i].key] = canonical(out)
+	}
+	refBig, err := ref.Query(context.Background(), bigQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBig := canonical(refBig)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range items {
+				it := items[(i+g*5)%len(items)]
+				out, err := svc.Execute(context.Background(), it.prep, it.bind)
+				if err != nil {
+					errs <- fmt.Errorf("mixed goroutine %d %s: %v", g, it.key, err)
+					return
+				}
+				if got := canonical(out); got != want[it.key] {
+					errs <- fmt.Errorf("mixed goroutine %d %s: parallel result differs from serial\ngot:\n%s\nwant:\n%s",
+						g, it.key, got, want[it.key])
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				out, err := svc.Query(context.Background(), bigQuery, nil)
+				if err != nil {
+					errs <- fmt.Errorf("big goroutine %d: %v", g, err)
+					return
+				}
+				if got := canonical(out); got != wantBig {
+					errs <- fmt.Errorf("big goroutine %d iteration %d: result differs from serial", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := svc.Stats()
+	if stats.Parallel.Queries == 0 || stats.Parallel.Morsels == 0 {
+		t.Fatalf("no parallel execution recorded: %+v", stats.Parallel)
+	}
+	if stats.Parallel.MaxWorkers > 8 {
+		t.Fatalf("worker ceiling exceeded: %+v", stats.Parallel)
+	}
+	if stats.Pool.TokensInUse != 0 {
+		t.Fatalf("%d tokens leaked", stats.Pool.TokensInUse)
+	}
+	if refStats := ref.Stats(); refStats.Parallel.Queries != 0 {
+		t.Fatalf("Parallelism=1 service ran parallel operators: %+v", refStats.Parallel)
 	}
 }

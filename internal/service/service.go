@@ -72,6 +72,16 @@ type Options struct {
 	// ErrOverloaded. 0 means 4*Workers; negative means no queue (reject as
 	// soon as all workers are busy).
 	QueueDepth int
+	// Parallelism is the per-query intra-query worker ceiling
+	// (exec.Options.Parallelism): parallelism-eligible pipelines and hash-
+	// join probes of one query fan out across up to this many workers.
+	// Workers beyond the query's own goroutine are drawn opportunistically
+	// from the *same* token pool that admits queries, so intra-query
+	// parallelism and request concurrency jointly respect the Workers
+	// budget instead of multiplying — a saturated service runs every query
+	// serially, an idle one lets a single query use the spare cores.
+	// Default 1 (serial, paper-experiment semantics).
+	Parallelism int
 	// PlanCacheSize is the shared plan cache's entry capacity. 0 means
 	// 1024; negative disables caching.
 	PlanCacheSize int
@@ -107,6 +117,15 @@ func (o Options) normalized() Options {
 	case o.PlanCacheSize < 0:
 		o.PlanCacheSize = 0
 	}
+	if o.Parallelism < 1 {
+		// Accept the knob through Exec too, for callers building
+		// exec.Options directly.
+		o.Parallelism = o.Exec.Parallelism
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+	o.Exec.Parallelism = o.Parallelism
 	return o
 }
 
@@ -142,10 +161,19 @@ type Service struct {
 
 	cacheCtr cacheCounters
 
-	sem      chan struct{} // worker slots
+	// pool is the shared CPU budget: one token per admitted query, plus
+	// opportunistic extra tokens for intra-query pipeline workers (the
+	// executor's Options.Pool points here).
+	pool     *exec.TokenPool
 	queued   atomic.Int64
 	inflight atomic.Int64
 	rejected atomic.Uint64
+
+	// Intra-query parallelism telemetry, aggregated from exec results.
+	parQueries    atomic.Uint64 // queries that ran >= 1 parallel operator
+	parMorsels    atomic.Uint64 // morsels executed across all queries
+	parWorkersSum atomic.Uint64 // sum of per-query peak worker counts
+	parWorkersMax atomic.Uint64 // largest per-query peak worker count
 
 	prepMu   sync.RWMutex
 	prepared map[string]*Prepared
@@ -162,12 +190,14 @@ func New(st *store.Store, source string, opts Options) *Service {
 	opts = opts.normalized()
 	s := &Service{
 		opts:      opts,
-		sem:       make(chan struct{}, opts.Workers),
+		pool:      exec.NewTokenPool(opts.Workers),
 		prepared:  make(map[string]*Prepared),
 		counts:    make(map[string]uint64),
 		errCounts: make(map[string]uint64),
 		latency:   make(map[string]*stats.Histogram),
 	}
+	// Intra-query workers draw from the admission pool: one CPU budget.
+	s.opts.Exec.Pool = s.pool
 	s.state.Store(&snapState{
 		store:  st,
 		gen:    1,
@@ -378,37 +408,47 @@ func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, te
 	if err != nil {
 		return nil, err
 	}
+	if res.Morsels > 0 {
+		s.parQueries.Add(1)
+		s.parMorsels.Add(uint64(res.Morsels))
+		s.parWorkersSum.Add(uint64(res.Workers))
+		for {
+			max := s.parWorkersMax.Load()
+			if uint64(res.Workers) <= max || s.parWorkersMax.CompareAndSwap(max, uint64(res.Workers)) {
+				break
+			}
+		}
+	}
 	return &Outcome{Result: res, Plan: ent.p, CacheHit: hit, Generation: st.gen, Store: st.store}, nil
 }
 
-// admit acquires a worker slot, waiting in the bounded queue when all
-// workers are busy. It fails fast with ErrOverloaded when the queue is
-// full, and with ctx's error if the caller gives up while queued. The
-// returned release function must be called when the request finishes.
+// admit acquires one token from the shared CPU pool, waiting in the
+// bounded queue when the pool is exhausted. It fails fast with
+// ErrOverloaded when the queue is full, and with ctx's error if the caller
+// gives up while queued. Queued admissions always win released tokens over
+// opportunistic intra-query grabs (see exec.TokenPool), so parallel
+// pipelines shrink under load instead of starving admission. The returned
+// release function must be called when the request finishes.
 func (s *Service) admit(ctx context.Context) (func(), error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
+	if !s.pool.TryAcquire() {
 		if s.queued.Add(1) > int64(s.opts.QueueDepth) {
 			s.queued.Add(-1)
 			s.rejected.Add(1)
 			return nil, ErrOverloaded
 		}
-		select {
-		case s.sem <- struct{}{}:
-			s.queued.Add(-1)
-		case <-ctx.Done():
-			s.queued.Add(-1)
-			return nil, ctx.Err()
+		err := s.pool.Acquire(ctx)
+		s.queued.Add(-1)
+		if err != nil {
+			return nil, err
 		}
 	}
 	s.inflight.Add(1)
 	return func() {
 		s.inflight.Add(-1)
-		<-s.sem
+		s.pool.Release()
 	}, nil
 }
 
@@ -441,13 +481,33 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-// PoolStats describe the admission-control state.
+// PoolStats describe the shared CPU pool: admission control plus the token
+// budget intra-query workers draw from.
 type PoolStats struct {
 	Workers    int    `json:"workers"`
 	QueueDepth int    `json:"queue_depth"`
 	InFlight   int64  `json:"in_flight"`
 	Queued     int64  `json:"queued"`
 	Rejected   uint64 `json:"rejected"`
+	// TokensInUse is the number of pool tokens currently held (admitted
+	// queries plus their active intra-query workers).
+	TokensInUse int `json:"tokens_in_use"`
+	// TokenWaits counts admissions that had to wait for a token;
+	// TokenWaitMs is the total time they spent waiting.
+	TokenWaits  uint64  `json:"token_waits"`
+	TokenWaitMs float64 `json:"token_wait_ms"`
+}
+
+// ParallelStats describe morsel-driven intra-query parallelism since
+// startup: how many queries ran parallel operators, how many morsels they
+// executed and the per-query peak worker counts (average and maximum) —
+// the worker-utilization view of Options.Parallelism.
+type ParallelStats struct {
+	Parallelism int     `json:"parallelism"`
+	Queries     uint64  `json:"queries"`
+	Morsels     uint64  `json:"morsels"`
+	AvgWorkers  float64 `json:"avg_workers"`
+	MaxWorkers  uint64  `json:"max_workers"`
 }
 
 // StoreStats describe the current snapshot.
@@ -478,6 +538,7 @@ type Stats struct {
 	Store    StoreStats              `json:"store"`
 	Cache    CacheStats              `json:"cache"`
 	Pool     PoolStats               `json:"pool"`
+	Parallel ParallelStats           `json:"parallel"`
 	Prepared []string                `json:"prepared"`
 	Requests map[string]RequestStats `json:"requests"`
 }
@@ -499,14 +560,27 @@ func (s *Service) Stats() Stats {
 			Evictions: s.cacheCtr.evictions.Load(),
 		},
 		Pool: PoolStats{
-			Workers:    s.opts.Workers,
-			QueueDepth: s.opts.QueueDepth,
-			InFlight:   s.inflight.Load(),
-			Queued:     s.queued.Load(),
-			Rejected:   s.rejected.Load(),
+			Workers:     s.opts.Workers,
+			QueueDepth:  s.opts.QueueDepth,
+			InFlight:    s.inflight.Load(),
+			Queued:      s.queued.Load(),
+			Rejected:    s.rejected.Load(),
+			TokensInUse: s.pool.InUse(),
+		},
+		Parallel: ParallelStats{
+			Parallelism: s.opts.Parallelism,
+			Queries:     s.parQueries.Load(),
+			Morsels:     s.parMorsels.Load(),
+			MaxWorkers:  s.parWorkersMax.Load(),
 		},
 		Prepared: s.PreparedNames(),
 		Requests: make(map[string]RequestStats),
+	}
+	waits, waited := s.pool.WaitStats()
+	out.Pool.TokenWaits = waits
+	out.Pool.TokenWaitMs = float64(waited) / float64(time.Millisecond)
+	if q := out.Parallel.Queries; q > 0 {
+		out.Parallel.AvgWorkers = float64(s.parWorkersSum.Load()) / float64(q)
 	}
 	s.statMu.Lock()
 	defer s.statMu.Unlock()

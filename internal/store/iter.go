@@ -38,3 +38,33 @@ func (sc *Scan) Next(max int) []IDTriple {
 
 // Remaining returns how many triples the cursor has not yet delivered.
 func (sc *Scan) Remaining() int { return len(sc.rest) }
+
+// ScanPartitions opens up to n cursors that jointly cover the triples
+// matching pat: the contiguous index range Match would return is split into
+// n contiguous morsels at triple granularity, sized within one triple of
+// each other. Concatenating the partitions' triples in slice order yields
+// exactly Scan(pat)'s stream, so a morsel-driven executor that merges
+// per-partition results in partition order reproduces the serial scan
+// bit-for-bit. Fewer than n cursors are returned when the range holds fewer
+// than n triples; an empty range returns nil. Every cursor is an
+// independent zero-copy view of the same immutable index, safe to drive
+// from concurrent goroutines.
+func (s *Store) ScanPartitions(pat Pattern, n int) []*Scan {
+	matches, o := s.Match(pat)
+	if len(matches) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(matches) {
+		n = len(matches)
+	}
+	out := make([]*Scan, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(matches) / n
+		hi := (i + 1) * len(matches) / n
+		out[i] = &Scan{rest: matches[lo:hi:hi], ord: o}
+	}
+	return out
+}
