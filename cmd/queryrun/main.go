@@ -41,6 +41,8 @@ type config struct {
 	dataPath    string
 	queryStr    string
 	queryFile   string
+	updateRun   string
+	commit      bool
 	binds       []string
 	explain     bool
 	greedy      bool
@@ -60,6 +62,8 @@ func main() {
 	flag.StringVar(&cfg.dataPath, "data", "", "N-Triples (.nt) or snapshot file (required)")
 	flag.StringVar(&cfg.queryStr, "query", "", "query text")
 	flag.StringVar(&cfg.queryFile, "queryfile", "", "file containing the query")
+	flag.StringVar(&cfg.updateRun, "updaterun", "", "SPARQL-Update text (or @file) applied to the loaded store before the query runs; the query then sees the delta-overlaid snapshot")
+	flag.BoolVar(&cfg.commit, "commit", false, "with -updaterun: fold the delta into a fresh fully indexed store instead of querying the overlay")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the optimized logical and physical plan trees")
 	flag.BoolVar(&cfg.greedy, "greedy", false, "use the greedy optimizer")
 	flag.BoolVar(&cfg.sampling, "sampling", false, "use the sampling cardinality estimator")
@@ -86,6 +90,12 @@ func run(w io.Writer, cfg config) error {
 	st, err := store.LoadAny(dataPath)
 	if err != nil {
 		return err
+	}
+	if cfg.updateRun != "" {
+		st, err = applyUpdate(w, st, cfg.updateRun, cfg.commit)
+		if err != nil {
+			return err
+		}
 	}
 	src := queryStr
 	if queryFile != "" {
@@ -179,6 +189,38 @@ func run(w io.Writer, cfg config) error {
 		fmt.Fprintln(w, strings.Join(cells, "\t"))
 	}
 	return nil
+}
+
+// applyUpdate runs -updaterun's SPARQL-Update (text or @file) against the
+// loaded store, returning the delta overlay (or, with -commit, the folded
+// store) the query will execute over.
+func applyUpdate(w io.Writer, st *store.Store, arg string, commit bool) (*store.Store, error) {
+	src := arg
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		src = string(data)
+	}
+	u, err := sparql.ParseUpdate(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := exec.ApplyUpdate(st, u)
+	if err != nil {
+		return nil, err
+	}
+	if commit {
+		next := d.Commit(store.BuildOptions{})
+		fmt.Fprintf(w, "update: +%d -%d triples committed (store %d -> %d triples)\n",
+			d.InsertCount(), d.DeleteCount(), st.Len(), next.Len())
+		return next, nil
+	}
+	next := d.Overlay()
+	fmt.Fprintf(w, "update: +%d -%d triples as delta overlay (store %d -> %d triples)\n",
+		d.InsertCount(), d.DeleteCount(), st.Len(), next.Len())
+	return next, nil
 }
 
 // parseBindings parses -bind name=term flags; the term side is N-Triples

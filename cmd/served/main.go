@@ -8,6 +8,7 @@
 //	POST /execute  {"name": "q4", "bindings": {"ProductType": "<iri>"}}
 //	POST /execute  {"name": "q4", "batch": [{...}, {...}]}
 //	POST /reload   {"path": "new.snap"}      (requires -allow-reload)
+//	POST /update   {"update": "INSERT DATA { ... }"}  (requires -allow-update)
 //	GET  /stats
 //	GET  /healthz
 //
@@ -28,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +47,9 @@ func main() {
 		cache   = flag.Int("cache", 0, "plan cache entries (0 = 1024, negative = disabled)")
 		exact   = flag.Bool("exact-accounting", false, "drain LIMIT pipelines for paper-exact Cout/Work accounting instead of stopping early")
 		reload  = flag.Bool("allow-reload", false, "enable POST /reload (loads any server-readable path a client names)")
+		update  = flag.Bool("allow-update", false, "enable POST /update (SPARQL-Update INSERT DATA / DELETE DATA)")
+		upRun   = flag.String("updaterun", "", "SPARQL-Update text (or @file) applied once at startup before serving")
+		compact = flag.Int("compact-threshold", 0, "pending delta size that triggers auto-compaction on update (0 = adaptive max(1024, base/8), negative = never)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -57,6 +62,8 @@ func main() {
 	opts.Parallelism = *par
 	opts.PlanCacheSize = *cache
 	opts.AllowReload = *reload
+	opts.AllowUpdate = *update
+	opts.CompactThreshold = *compact
 	if *exact {
 		opts.Exec = exec.Options{}
 	}
@@ -64,6 +71,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "served:", err)
 		os.Exit(1)
+	}
+	if *upRun != "" {
+		src := *upRun
+		if strings.HasPrefix(src, "@") {
+			data, err := os.ReadFile(src[1:])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "served:", err)
+				os.Exit(1)
+			}
+			src = string(data)
+		}
+		res, err := svc.Update(context.Background(), src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "served: -updaterun:", err)
+			os.Exit(1)
+		}
+		log.Printf("served: startup update applied (+%d -%d named triples, %d pending, compacted=%v)",
+			res.Inserted, res.Deleted, res.PendingInserts+res.PendingDeletes, res.Compacted)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

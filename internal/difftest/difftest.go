@@ -1,0 +1,325 @@
+// Package difftest implements the differential test harness for the query
+// engines and the updatable store: a seeded generator produces random
+// datasets, random INSERT DATA / DELETE DATA histories and random BGP
+// queries (bounded patterns, filters, DISTINCT/ORDER BY/LIMIT/OFFSET
+// modifiers), and every query is executed through the full engine matrix —
+// Materializing, Streaming, and Streaming at Parallelism 2 and 8 — over
+// both the pristine store and the delta-overlaid store, with the overlay
+// additionally cross-checked against a store rebuilt from scratch over the
+// equivalent triple set. All executions of one (store, query) pair must be
+// byte-identical in rows AND accounting (Cout/Work/Scanned); the overlay
+// and the rebuilt store must also agree byte-for-byte with each other,
+// because the rebuilt reference shares the overlay's dictionary IDs and the
+// overlay's statistics are exact, so the optimizer provably picks the same
+// plan over either.
+//
+// Everything is driven by a single int64 seed; a failing scenario reports
+// it, and setting DIFFTEST_SEED reruns exactly that scenario. When
+// DIFFTEST_OUT is set, the failing scenario (seed, query, stores) is also
+// written there as JSON so CI can upload it as a reproduction artifact.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/exec"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Scenario is one generated differential-testing world: a base store, an
+// update history, the resulting overlay, and the independently rebuilt
+// reference store.
+type Scenario struct {
+	Seed    int64
+	Base    *store.Store
+	Delta   *store.Delta
+	Overlay *store.Store
+	Rebuilt *store.Store
+	Updates []*sparql.Update // the applied history, for reproduction dumps
+	vocabP  []rdf.Term       // predicate vocabulary for query generation
+	vocabS  []rdf.Term
+	vocabO  []rdf.Term
+}
+
+// GenScenario builds the world for one seed: a random dataset, a random
+// update history applied through store.Delta, and the rebuilt reference.
+func GenScenario(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &Scenario{Seed: seed}
+
+	nSub := 10 + rng.Intn(30)
+	nPred := 3 + rng.Intn(5)
+	nObj := 8 + rng.Intn(25)
+	nClass := 1 + rng.Intn(3)
+	for i := 0; i < nPred; i++ {
+		sc.vocabP = append(sc.vocabP, rdf.NewIRI(fmt.Sprintf("http://d/p%d", i)))
+	}
+	sc.vocabP = append(sc.vocabP, rdf.NewIRI(rdf.RDFType))
+	for i := 0; i < nSub; i++ {
+		sc.vocabS = append(sc.vocabS, rdf.NewIRI(fmt.Sprintf("http://d/s%d", i)))
+	}
+	for i := 0; i < nObj; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			sc.vocabO = append(sc.vocabO, rdf.NewTypedLiteral(fmt.Sprintf("%d", rng.Intn(100)), rdf.XSDInteger))
+		case 1:
+			sc.vocabO = append(sc.vocabO, rdf.NewLiteral(fmt.Sprintf("v%d", i)))
+		default:
+			sc.vocabO = append(sc.vocabO, rdf.NewIRI(fmt.Sprintf("http://d/o%d", i)))
+		}
+	}
+	for i := 0; i < nClass; i++ {
+		sc.vocabO = append(sc.vocabO, rdf.NewIRI(fmt.Sprintf("http://d/Class%d", i)))
+	}
+	// Objects double as subjects occasionally (IRIs only), so joins chain.
+	randTriple := func() rdf.Triple {
+		s := sc.vocabS[rng.Intn(len(sc.vocabS))]
+		p := sc.vocabP[rng.Intn(len(sc.vocabP))]
+		o := sc.vocabO[rng.Intn(len(sc.vocabO))]
+		if p.Value == rdf.RDFType {
+			o = rdf.NewIRI(fmt.Sprintf("http://d/Class%d", rng.Intn(nClass)))
+		}
+		return rdf.Triple{S: s, P: p, O: o}
+	}
+
+	b := store.NewBuilder()
+	nBase := 50 + rng.Intn(250)
+	for i := 0; i < nBase; i++ {
+		if err := b.Add(randTriple()); err != nil {
+			return nil, err
+		}
+	}
+	sc.Base = b.Build()
+
+	// Update history: a few batches of inserts and deletes, expressed as
+	// parsed SPARQL-Update requests so the harness exercises the same code
+	// path the service does.
+	d := sc.Base.NewDelta()
+	batches := 1 + rng.Intn(4)
+	for bi := 0; bi < batches; bi++ {
+		var ops []string
+		nIns := rng.Intn(20)
+		if nIns > 0 {
+			var lines []string
+			for i := 0; i < nIns; i++ {
+				lines = append(lines, "  "+randTriple().String())
+			}
+			ops = append(ops, "INSERT DATA {\n"+strings.Join(lines, "\n")+"\n}")
+		}
+		cur, _ := d.Overlay().Match(store.Pattern{})
+		nDel := rng.Intn(12)
+		if nDel > 0 && len(cur) > 0 {
+			var lines []string
+			dd := sc.Base.Dict()
+			for i := 0; i < nDel; i++ {
+				tr := cur[rng.Intn(len(cur))]
+				lines = append(lines, "  "+rdf.Triple{S: dd.Decode(tr.S), P: dd.Decode(tr.P), O: dd.Decode(tr.O)}.String())
+			}
+			ops = append(ops, "DELETE DATA {\n"+strings.Join(lines, "\n")+"\n}")
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		u, err := sparql.ParseUpdate(strings.Join(ops, " ;\n"))
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: generated update does not parse: %w", seed, err)
+		}
+		sc.Updates = append(sc.Updates, u)
+		for _, op := range u.Ops {
+			if op.Insert {
+				d, err = d.Apply(op.Triples, nil)
+			} else {
+				d, err = d.Apply(nil, op.Triples)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	sc.Delta = d
+	sc.Overlay = d.Overlay()
+
+	// The reference store: rebuilt from scratch over the merged triple
+	// set, onto a fresh dictionary pre-seeded with the overlay
+	// dictionary's terms in ID order so both stores assign identical IDs
+	// (and therefore identical index orders, statistics and plans).
+	rb := store.NewBuilder()
+	od := sc.Overlay.Dict()
+	for id := dict.ID(1); int(id) <= od.Len(); id++ {
+		if got := rb.Dict().Encode(od.Decode(id)); got != id {
+			return nil, fmt.Errorf("seed %d: reference dictionary drift at id %d", seed, id)
+		}
+	}
+	merged, _ := sc.Overlay.Match(store.Pattern{})
+	for _, tr := range merged {
+		rb.AddID(tr)
+	}
+	sc.Rebuilt = rb.Build()
+	return sc, nil
+}
+
+// GenQuery produces one random BGP query over the scenario's vocabulary:
+// 1–3 triple patterns chained through shared variables, with random
+// constants, optional FILTER comparisons and random DISTINCT / ORDER BY /
+// LIMIT / OFFSET modifiers. The query is rendered and re-parsed so the
+// harness also covers the parser round trip.
+func (sc *Scenario) GenQuery(rng *rand.Rand) (*sparql.Query, error) {
+	vars := []sparql.Var{"a", "b", "c", "d"}
+	nPat := 1 + rng.Intn(3)
+	q := &sparql.Query{}
+	usedVars := map[sparql.Var]bool{}
+	pickVar := func() sparql.Var {
+		// Prefer a used variable so patterns connect.
+		if len(usedVars) > 0 && rng.Intn(3) > 0 {
+			for {
+				v := vars[rng.Intn(len(vars))]
+				if usedVars[v] {
+					return v
+				}
+			}
+		}
+		v := vars[rng.Intn(len(vars))]
+		usedVars[v] = true
+		return v
+	}
+	for i := 0; i < nPat; i++ {
+		var tp sparql.TriplePattern
+		// Subject: variable (75%) or constant.
+		if rng.Intn(4) > 0 {
+			tp.S = sparql.VarNode(pickVar())
+		} else {
+			tp.S = sparql.TermNode(sc.vocabS[rng.Intn(len(sc.vocabS))])
+		}
+		// Predicate: constant (80%) or variable.
+		if rng.Intn(5) > 0 {
+			tp.P = sparql.TermNode(sc.vocabP[rng.Intn(len(sc.vocabP))])
+		} else {
+			tp.P = sparql.VarNode(pickVar())
+		}
+		// Object: variable (60%) or constant.
+		if rng.Intn(5) >= 2 {
+			tp.O = sparql.VarNode(pickVar())
+		} else {
+			tp.O = sparql.TermNode(sc.vocabO[rng.Intn(len(sc.vocabO))])
+		}
+		q.Where = append(q.Where, tp)
+	}
+	var varList []sparql.Var
+	for _, v := range vars {
+		if usedVars[v] {
+			varList = append(varList, v)
+		}
+	}
+	// Filters over used variables.
+	if len(varList) > 0 {
+		for i := 0; i < rng.Intn(3); i++ {
+			f := sparql.Filter{
+				Left: sparql.VarNode(varList[rng.Intn(len(varList))]),
+				Op:   sparql.CompareOp(rng.Intn(6)),
+			}
+			if rng.Intn(2) == 0 {
+				f.Right = sparql.TermNode(rdf.NewTypedLiteral(fmt.Sprintf("%d", rng.Intn(100)), rdf.XSDInteger))
+			} else {
+				f.Right = sparql.VarNode(varList[rng.Intn(len(varList))])
+			}
+			q.Filters = append(q.Filters, f)
+		}
+	}
+	// Modifiers.
+	if rng.Intn(3) == 0 {
+		q.Distinct = true
+	}
+	if len(varList) > 0 && rng.Intn(2) == 0 {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n && i < len(varList); i++ {
+			q.OrderBy = append(q.OrderBy, sparql.OrderKey{Var: varList[i], Desc: rng.Intn(2) == 0})
+		}
+	}
+	if len(varList) > 0 && rng.Intn(3) == 0 {
+		// Project a subset.
+		q.Select = varList[:1+rng.Intn(len(varList))]
+	}
+	switch rng.Intn(4) {
+	case 0:
+		q.Limit = rng.Intn(20) // includes LIMIT 0
+		q.HasLimit = true
+	case 1:
+		q.Offset = rng.Intn(30) // may run past the result
+	case 2:
+		q.Limit = rng.Intn(10)
+		q.HasLimit = true
+		q.Offset = rng.Intn(10)
+	}
+	// Round-trip through the text form.
+	parsed, err := sparql.Parse(q.String())
+	if err != nil {
+		return nil, fmt.Errorf("generated query does not re-parse: %w\n%s", err, q.String())
+	}
+	return parsed, nil
+}
+
+// Canonical renders an execution result into one comparable string: the
+// schema, the accounting, and every row decoded through d.
+func Canonical(d *dict.Dict, res *exec.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vars=%v cout=%v work=%v scanned=%d rows=%d\n",
+		res.Vars, res.Cout, res.Work, res.Scanned, len(res.Rows))
+	for _, row := range res.Rows {
+		for j, id := range row {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(d.Decode(id).String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// EngineRun names one cell of the execution matrix.
+type EngineRun struct {
+	Name string
+	Opts exec.Options
+}
+
+// EngineMatrix is the cross-checked engine configurations: the
+// materializing reference, the serial streaming engine, and streaming at
+// Parallelism 2 and 8 with a tiny morsel size so test-scale stores
+// genuinely split (including single-triple morsels).
+func EngineMatrix() []EngineRun {
+	return []EngineRun{
+		{Name: "materializing", Opts: exec.Options{Mode: exec.Materializing}},
+		{Name: "streaming", Opts: exec.Options{}},
+		{Name: "streaming-p2-m1", Opts: exec.Options{Parallelism: 2, MorselSize: 1}},
+		{Name: "streaming-p8-m16", Opts: exec.Options{Parallelism: 8, MorselSize: 16}},
+	}
+}
+
+// RunQuery executes q over st with every engine configuration and checks
+// all results agree; it returns the canonical result, or an error naming
+// the first diverging engine pair.
+func RunQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
+	var ref string
+	var refName string
+	for _, er := range EngineMatrix() {
+		res, _, err := exec.Query(q, st, er.Opts)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", label, er.Name, err)
+		}
+		got := Canonical(st.Dict(), res)
+		if ref == "" {
+			ref, refName = got, er.Name
+			continue
+		}
+		if got != ref {
+			return "", fmt.Errorf("%s: engine %s diverges from %s\n--- %s\n%s\n--- %s\n%s",
+				label, er.Name, refName, refName, ref, er.Name, got)
+		}
+	}
+	return ref, nil
+}

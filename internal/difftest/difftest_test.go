@@ -1,0 +1,180 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// failureArtifact is the reproduction record written to DIFFTEST_OUT when
+// a differential check fails, so CI can upload it.
+type failureArtifact struct {
+	Seed    int64    `json:"seed"`
+	Query   string   `json:"query,omitempty"`
+	Updates []string `json:"updates,omitempty"`
+	Error   string   `json:"error"`
+}
+
+// reportFailure records the failing scenario for reproduction and fails
+// the test with the seed front and center.
+func reportFailure(t *testing.T, sc *Scenario, query string, err error) {
+	t.Helper()
+	if out := os.Getenv("DIFFTEST_OUT"); out != "" {
+		art := failureArtifact{Seed: sc.Seed, Query: query, Error: err.Error()}
+		for _, u := range sc.Updates {
+			art.Updates = append(art.Updates, u.String())
+		}
+		if data, jerr := json.MarshalIndent(art, "", "  "); jerr == nil {
+			_ = os.WriteFile(out, data, 0o644)
+		}
+	}
+	t.Fatalf("seed %d (rerun with DIFFTEST_SEED=%d): %v", sc.Seed, sc.Seed, err)
+}
+
+// seedsUnderTest returns the scenario seeds: DIFFTEST_SEED pins a single
+// scenario, otherwise a fixed deterministic batch runs.
+func seedsUnderTest(t *testing.T) []int64 {
+	if s := os.Getenv("DIFFTEST_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad DIFFTEST_SEED %q: %v", s, err)
+		}
+		return []int64{n}
+	}
+	var out []int64
+	for s := int64(1); s <= 10; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestDifferentialEngines is the harness entry point: for every scenario
+// seed it cross-checks the full engine matrix over the pristine store and
+// the delta-overlaid store, and checks the overlay against the
+// rebuilt-from-scratch reference — rows and accounting byte-identical
+// everywhere, which is the PR's acceptance criterion at Parallelism 1, 2
+// and 8.
+func TestDifferentialEngines(t *testing.T) {
+	const queriesPerScenario = 30
+	for _, seed := range seedsUnderTest(t) {
+		sc, err := GenScenario(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkStoreEquivalence(t, sc)
+		qrng := rand.New(rand.NewSource(sc.Seed * 7919))
+		for qi := 0; qi < queriesPerScenario; qi++ {
+			q, err := sc.GenQuery(qrng)
+			if err != nil {
+				reportFailure(t, sc, "", err)
+			}
+			text := q.String()
+			if _, err := RunQuery(q, sc.Base, "pristine"); err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			ovl, err := RunQuery(q, sc.Overlay, "overlay")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			reb, err := RunQuery(q, sc.Rebuilt, "rebuilt")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			if ovl != reb {
+				reportFailure(t, sc, text, fmt.Errorf(
+					"overlay result diverges from rebuilt store\n--- overlay\n%s\n--- rebuilt\n%s", ovl, reb))
+			}
+		}
+	}
+}
+
+// checkStoreEquivalence asserts the overlay's whole statistics surface
+// matches the rebuilt reference exactly — the property that makes the
+// optimizer's plan choice (and therefore row order) identical over both.
+func checkStoreEquivalence(t *testing.T, sc *Scenario) {
+	t.Helper()
+	ov, ref := sc.Overlay, sc.Rebuilt
+	if ov.Len() != ref.Len() {
+		reportFailure(t, sc, "", fmt.Errorf("Len: overlay %d != rebuilt %d", ov.Len(), ref.Len()))
+	}
+	ovPreds, refPreds := ov.Predicates(), ref.Predicates()
+	if len(ovPreds) != len(refPreds) {
+		reportFailure(t, sc, "", fmt.Errorf("Predicates: %d vs %d", len(ovPreds), len(refPreds)))
+	}
+	for i, p := range refPreds {
+		if ovPreds[i] != p {
+			reportFailure(t, sc, "", fmt.Errorf("Predicates[%d]: %d vs %d", i, ovPreds[i], p))
+		}
+		if ov.PredicateStats(p) != ref.PredicateStats(p) {
+			reportFailure(t, sc, "", fmt.Errorf("PredicateStats(%d): %+v vs %+v",
+				p, ov.PredicateStats(p), ref.PredicateStats(p)))
+		}
+	}
+	// Spot-check counts for every pattern shape over a seeded sample.
+	rng := rand.New(rand.NewSource(sc.Seed * 104729))
+	all, _ := ref.Match(store.Pattern{})
+	for i := 0; i < 30 && len(all) > 0; i++ {
+		tr := all[rng.Intn(len(all))]
+		for _, pat := range []store.Pattern{
+			{S: tr.S}, {P: tr.P}, {O: tr.O},
+			{S: tr.S, P: tr.P}, {S: tr.S, O: tr.O}, {P: tr.P, O: tr.O},
+			{S: tr.S, P: tr.P, O: tr.O}, {},
+		} {
+			if ov.Count(pat) != ref.Count(pat) {
+				reportFailure(t, sc, "", fmt.Errorf("Count(%v): %d vs %d", pat, ov.Count(pat), ref.Count(pat)))
+			}
+		}
+	}
+}
+
+// TestDifferentialSnapshotRoundTrip runs a slice of the matrix over an
+// overlay that has been through a v3 snapshot write/read cycle: queries
+// over the restored overlay must match the original overlay exactly.
+func TestDifferentialSnapshotRoundTrip(t *testing.T) {
+	sc, err := GenScenario(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ov.snap"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Overlay.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := store.LoadAny(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Delta() == nil {
+		t.Fatal("restored snapshot lost the delta overlay")
+	}
+	qrng := rand.New(rand.NewSource(999))
+	for qi := 0; qi < 15; qi++ {
+		q, err := sc.GenQuery(qrng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunQuery(q, sc.Overlay, "overlay")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunQuery(q, restored, "restored")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %s diverges after v3 round trip\n--- overlay\n%s\n--- restored\n%s",
+				q.String(), want, got)
+		}
+	}
+}

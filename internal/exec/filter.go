@@ -198,8 +198,16 @@ func (ex *executor) finish(rel *relation, q *sparql.Query) (*relation, error) {
 		}
 		rel = &relation{vars: rel.vars, rows: out}
 	}
-	if q.Limit > 0 && len(rel.rows) > q.Limit {
-		rel = &relation{vars: rel.vars, rows: rel.rows[:q.Limit]}
+	// OFFSET skips rows before LIMIT counts them (SPARQL slice semantics).
+	if q.Offset > 0 {
+		if q.Offset >= len(rel.rows) {
+			rel = &relation{vars: rel.vars}
+		} else {
+			rel = &relation{vars: rel.vars, rows: rel.rows[q.Offset:]}
+		}
+	}
+	if limit, has := q.LimitCount(); has && len(rel.rows) > limit {
+		rel = &relation{vars: rel.vars, rows: rel.rows[:limit]}
 	}
 	return rel, nil
 }

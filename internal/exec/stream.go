@@ -142,7 +142,7 @@ func (ex *executor) buildNode(n *plan.PhysNode) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &limitOp{child: child, limit: n.Limit, earlyStop: ex.opts.EarlyStop}, nil
+		return &limitOp{child: child, limit: n.Limit, offset: n.Offset, earlyStop: ex.opts.EarlyStop}, nil
 	default:
 		return nil, fmt.Errorf("exec: unknown physical operator %v", n.Op)
 	}
@@ -669,17 +669,21 @@ func (op *distinctOp) next() ([][]dict.ID, error) {
 
 // --- Limit -------------------------------------------------------------------
 
-// limitOp truncates the stream to limit rows. By default the child is
-// still drained to exhaustion after the limit is reached: the
-// materializing engine computes everything before truncating, and measured
-// Cout/Work/Scanned must stay bit-identical between the two engines. With
-// Options.EarlyStop the drain is skipped and the pipeline terminates as
-// soon as the limit is reached (the serving-mode default); rows are
-// unchanged, accounting reflects only the work actually done.
+// limitOp skips the first offset rows of the stream, then truncates it to
+// limit rows (limit < 0 means unlimited — an OFFSET-only modifier). By
+// default the child is still drained to exhaustion after the limit is
+// reached: the materializing engine computes everything before
+// truncating, and measured Cout/Work/Scanned must stay bit-identical
+// between the two engines. With Options.EarlyStop the drain is skipped
+// and the pipeline terminates as soon as the limit is reached (the
+// serving-mode default); rows are unchanged, accounting reflects only the
+// work actually done.
 type limitOp struct {
 	child     operator
 	limit     int
+	offset    int
 	earlyStop bool
+	skipped   int
 	emitted   int
 	drained   bool
 }
@@ -687,7 +691,7 @@ type limitOp struct {
 func (op *limitOp) vars() []sparql.Var { return op.child.vars() }
 
 func (op *limitOp) next() ([][]dict.ID, error) {
-	for op.emitted < op.limit {
+	for op.limit < 0 || op.emitted < op.limit {
 		batch, err := op.child.next()
 		if err != nil {
 			return nil, err
@@ -696,8 +700,18 @@ func (op *limitOp) next() ([][]dict.ID, error) {
 			op.drained = true
 			return nil, nil
 		}
-		if rest := op.limit - op.emitted; len(batch) > rest {
-			batch = batch[:rest]
+		if skip := op.offset - op.skipped; skip > 0 {
+			if len(batch) <= skip {
+				op.skipped += len(batch)
+				continue
+			}
+			op.skipped += skip
+			batch = batch[skip:]
+		}
+		if op.limit >= 0 {
+			if rest := op.limit - op.emitted; len(batch) > rest {
+				batch = batch[:rest]
+			}
 		}
 		op.emitted += len(batch)
 		return batch, nil

@@ -1,0 +1,28 @@
+package exec
+
+import (
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// The update execution path: exec is the layer that already bridges the
+// SPARQL AST and the store, so the one mapping from a parsed
+// SPARQL-Update onto delta operations lives here, shared by the query
+// service and the CLIs.
+
+// DeltaOps maps a parsed SPARQL-Update onto the store's ordered delta
+// operations.
+func DeltaOps(u *sparql.Update) []store.DeltaOp {
+	ops := make([]store.DeltaOp, len(u.Ops))
+	for i, op := range u.Ops {
+		ops[i] = store.DeltaOp{Insert: op.Insert, Triples: op.Triples}
+	}
+	return ops
+}
+
+// ApplyUpdate folds u into st's pending delta (set semantics, one pass)
+// and returns the extended delta; publish it with Overlay or Commit. The
+// returned delta is st's own pending delta when u changes nothing.
+func ApplyUpdate(st *store.Store, u *sparql.Update) (*store.Delta, error) {
+	return st.NewDelta().ApplyOps(DeltaOps(u))
+}

@@ -104,7 +104,8 @@ type PhysNode struct {
 	Vars        []sparql.Var      // output schema
 	Filters     []sparql.Filter   // PhysFilter
 	Keys        []sparql.OrderKey // PhysOrder
-	Limit       int               // PhysLimit
+	Limit       int               // PhysLimit: max rows to emit; -1 means unlimited (offset only)
+	Offset      int               // PhysLimit: rows to skip before emitting
 	Card        float64           // estimated output cardinality (join/scan nodes)
 
 	// ParallelSource marks this node as the top of a parallelism-eligible
@@ -146,7 +147,12 @@ func (n *PhysNode) render(b *strings.Builder, depth int) {
 			fmt.Fprintf(b, " %s", f)
 		}
 	case PhysLimit:
-		fmt.Fprintf(b, " %d", n.Limit)
+		if n.Limit >= 0 {
+			fmt.Fprintf(b, " %d", n.Limit)
+		}
+		if n.Offset > 0 {
+			fmt.Fprintf(b, " offset %d", n.Offset)
+		}
 	}
 	fmt.Fprintf(b, " -> %v", n.Vars)
 	if n.ParallelSource != nil {
@@ -397,8 +403,11 @@ func (l *lowerer) epilogue(root *PhysNode, q *sparql.Query) (*PhysNode, error) {
 	if q.Distinct {
 		root = &PhysNode{Op: PhysDistinct, Left: root, Vars: root.Vars, Card: root.Card}
 	}
-	if q.Limit > 0 {
-		root = &PhysNode{Op: PhysLimit, Left: root, Vars: root.Vars, Limit: q.Limit, Card: root.Card}
+	if limit, has := q.LimitCount(); has || q.Offset > 0 {
+		if !has {
+			limit = -1 // offset without limit: skip rows, emit the rest
+		}
+		root = &PhysNode{Op: PhysLimit, Left: root, Vars: root.Vars, Limit: limit, Offset: q.Offset, Card: root.Card}
 	}
 	return root, nil
 }

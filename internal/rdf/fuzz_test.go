@@ -69,3 +69,40 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseTerm checks the single-term parser (the syntax of queryrun's
+// -bind flags and the service's JSON bindings): no panics, and every
+// successfully parsed term must render (String) to text that re-parses to
+// the identical term.
+func FuzzParseTerm(f *testing.F) {
+	seeds := []string{
+		`<http://x/s>`,
+		`_:b1`,
+		`"lit"`,
+		`"lit"@en-GB`,
+		`"5"^^<http://www.w3.org/2001/XMLSchema#integer>`,
+		`"esc\"d\né"`,
+		`  <http://x/padded>  `,
+		`<http://x/s> trailing`,
+		`"unterminated`,
+		`@en`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		term, err := ParseTerm(src)
+		if err != nil {
+			return
+		}
+		rendered := term.String()
+		again, err := ParseTerm(rendered)
+		if err != nil {
+			t.Fatalf("rendering of valid term does not re-parse: %v\nsource: %q\nrendered: %q", err, src, rendered)
+		}
+		if again != term {
+			t.Fatalf("term round trip changed: %+v vs %+v (source %q)", term, again, src)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 //	POST /execute  {"name": "...", "bindings": {...}}            (single)
 //	POST /execute  {"name": "...", "batch": [{...}, {...}]}      (batch)
 //	POST /reload   {"path": "new.snap"}
+//	POST /update   {"update": "INSERT DATA { ... }"}
 //	GET  /stats
 //	GET  /healthz
 //
@@ -73,6 +74,10 @@ type reloadRequest struct {
 	Path string `json:"path"`
 }
 
+type updateRequest struct {
+	Update string `json:"update"`
+}
+
 type reloadResponse struct {
 	Generation uint64 `json:"generation"`
 	Triples    int    `json:"triples"`
@@ -96,6 +101,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("POST /execute", s.handleExecute)
 	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -206,6 +212,27 @@ func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reloadResponse{Generation: gen, Triples: triples})
 }
 
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.AllowUpdate {
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: "updates disabled (enable with Options.AllowUpdate / served -allow-update)"})
+		return
+	}
+	var req updateRequest
+	if !decodeBodyLimit(w, r, &req, maxUpdateBodyBytes) {
+		return
+	}
+	if req.Update == "" {
+		writeError(w, badInput(errors.New("missing update")))
+		return
+	}
+	res, err := s.Update(r.Context(), req.Update)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
@@ -268,13 +295,26 @@ func parseBindingMap(m map[string]string) (sparql.Binding, error) {
 
 // maxBodyBytes caps request bodies: query texts and binding batches are
 // small, and an unbounded body would let clients buy unbounded decode work
-// before admission control sees the request.
-const maxBodyBytes = 1 << 20
+// before admission control sees the request. Updates carry bulk triple
+// data, so /update gets its own, larger cap.
+const (
+	maxBodyBytes       = 1 << 20
+	maxUpdateBodyBytes = 16 << 20
+)
 
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	return decodeBodyLimit(w, r, dst, maxBodyBytes)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, badInput(fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit)))
+			return false
+		}
 		writeError(w, badInput(fmt.Errorf("invalid request body: %w", err)))
 		return false
 	}

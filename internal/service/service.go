@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,19 @@ type Options struct {
 	// when the listener is trusted (cmd/served -allow-reload). The
 	// in-process Reload/Swap methods are always available.
 	AllowReload bool
+	// AllowUpdate enables the HTTP POST /update endpoint (SPARQL-Update
+	// INSERT DATA / DELETE DATA). Off by default — enable only when the
+	// listener is trusted (cmd/served -allow-update). The in-process
+	// Update method is always available.
+	AllowUpdate bool
+	// CompactThreshold is the auto-compaction policy: when a commit's
+	// pending delta (inserts + deletes) reaches this size, the delta is
+	// folded into a fresh fully indexed store instead of published as an
+	// overlay, bounding the merge-on-read cost every query pays. 0 means
+	// adaptive — max(1024, base/8) changes, so small stores compact
+	// eagerly and large ones amortize the rebuild; negative disables
+	// auto-compaction (overlays grow until Compact is called).
+	CompactThreshold int
 }
 
 // DefaultOptions returns the serving-mode defaults: streaming engine with
@@ -169,6 +183,12 @@ type Service struct {
 	inflight atomic.Int64
 	rejected atomic.Uint64
 
+	// Update telemetry: applied update requests, triples going through
+	// delta application, and how many commits folded the delta
+	// (auto-compaction or explicit Compact).
+	updates     atomic.Uint64
+	compactions atomic.Uint64
+
 	// Intra-query parallelism telemetry, aggregated from exec results.
 	parQueries    atomic.Uint64 // queries that ran >= 1 parallel operator
 	parMorsels    atomic.Uint64 // morsels executed across all queries
@@ -231,6 +251,11 @@ func (s *Service) Generation() uint64 { return s.state.Load().gen }
 func (s *Service) Swap(st *store.Store, source string) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	return s.swapLocked(st, source)
+}
+
+// swapLocked publishes st as the next generation; the caller holds swapMu.
+func (s *Service) swapLocked(st *store.Store, source string) uint64 {
 	gen := s.state.Load().gen + 1
 	s.state.Store(&snapState{
 		store:  st,
@@ -251,6 +276,150 @@ func (s *Service) Reload(path string) (gen uint64, triples int, err error) {
 		return 0, 0, err
 	}
 	return s.Swap(st, path), st.Len(), nil
+}
+
+// UpdateResult describes one applied update.
+type UpdateResult struct {
+	// Generation is the snapshot generation the update published.
+	Generation uint64 `json:"generation"`
+	// Triples is the store size after the update.
+	Triples int `json:"triples"`
+	// Inserted and Deleted count the triples named by the request's
+	// INSERT DATA / DELETE DATA blocks (before set semantics — inserting
+	// an existing triple or deleting an absent one is a no-op).
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// PendingInserts/PendingDeletes are the published snapshot's delta
+	// sizes (zero right after a compaction).
+	PendingInserts int `json:"pending_inserts"`
+	PendingDeletes int `json:"pending_deletes"`
+	// Compacted reports whether this update folded the delta into a
+	// fresh fully indexed store (the size-threshold auto-compaction).
+	Compacted bool `json:"compacted"`
+}
+
+// Update parses text as SPARQL-Update (INSERT DATA / DELETE DATA) and
+// publishes the result as the next snapshot generation, MVCC-style:
+// in-flight queries finish against the snapshot they pinned; new queries
+// see the new one. Small deltas are published as overlay snapshots (the
+// base indexes are shared and reads merge the delta in); once the pending
+// delta reaches Options.CompactThreshold it is folded into a fresh fully
+// indexed store. Updates serialize with each other and with Swap/Reload.
+func (s *Service) Update(ctx context.Context, text string) (res *UpdateResult, err error) {
+	start := time.Now()
+	defer func() { s.observe("update", time.Since(start), err) }()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	u, err := sparql.ParseUpdate(text)
+	if err != nil {
+		return nil, badInput(err)
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.state.Load()
+	d0 := cur.store.NewDelta()
+	d, err := d0.ApplyOps(exec.DeltaOps(u))
+	if err != nil {
+		return nil, badInput(err)
+	}
+	s.updates.Add(1)
+	if d == d0 {
+		// The update changed nothing (set semantics): keep the current
+		// snapshot — and with it the plan cache — instead of publishing an
+		// identical generation.
+		res = &UpdateResult{
+			Generation: cur.gen,
+			Triples:    cur.store.Len(),
+			Inserted:   u.InsertCount(),
+			Deleted:    u.DeleteCount(),
+		}
+		if nd := cur.store.Delta(); nd != nil {
+			res.PendingInserts = nd.InsertCount()
+			res.PendingDeletes = nd.DeleteCount()
+		}
+		return res, nil
+	}
+	next, compacted := s.publishDelta(d)
+	gen := s.swapLocked(next, updateSource(cur.source))
+	if compacted {
+		s.compactions.Add(1)
+	}
+	res = &UpdateResult{
+		Generation: gen,
+		Triples:    next.Len(),
+		Inserted:   u.InsertCount(),
+		Deleted:    u.DeleteCount(),
+		Compacted:  compacted,
+	}
+	if nd := next.Delta(); nd != nil {
+		res.PendingInserts = nd.InsertCount()
+		res.PendingDeletes = nd.DeleteCount()
+	}
+	return res, nil
+}
+
+// publishDelta decides the snapshot form for a pending delta: an overlay
+// below the compaction threshold, a folded store at or above it.
+func (s *Service) publishDelta(d *store.Delta) (*store.Store, bool) {
+	if t := s.compactThreshold(d.Base()); t > 0 && d.Size() >= t {
+		return d.Commit(store.BuildOptions{}), true
+	}
+	return d.Overlay(), false
+}
+
+// compactThreshold resolves the auto-compaction threshold against a base
+// store (0 configures the adaptive default, negative disables).
+func (s *Service) compactThreshold(base *store.Store) int {
+	t := s.opts.CompactThreshold
+	switch {
+	case t < 0:
+		return 0
+	case t == 0:
+		t = base.Len() / 8
+		if t < 1024 {
+			t = 1024
+		}
+	}
+	return t
+}
+
+// Compact folds the current snapshot's pending delta (if any) into a
+// fresh fully indexed store and publishes it. It returns the resulting
+// generation (unchanged when there was nothing to fold).
+func (s *Service) Compact() uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.state.Load()
+	d := cur.store.Delta()
+	if d == nil || d.Empty() {
+		return cur.gen
+	}
+	s.compactions.Add(1)
+	return s.swapLocked(d.Commit(store.BuildOptions{}), updateSource(cur.source))
+}
+
+// baseOf returns the fully indexed base of st (st itself for a plain
+// store).
+func baseOf(st *store.Store) *store.Store {
+	if d := st.Delta(); d != nil {
+		return d.Base()
+	}
+	return st
+}
+
+// updateSource labels a snapshot produced by updates after its origin.
+func updateSource(source string) string {
+	const suffix = "+updates"
+	if source == "" || strings.HasSuffix(source, suffix) {
+		if source == "" {
+			return suffix[1:]
+		}
+		return source
+	}
+	return source + suffix
 }
 
 // Prepare parses text as a query template and registers it under name.
@@ -510,11 +679,28 @@ type ParallelStats struct {
 	MaxWorkers  uint64  `json:"max_workers"`
 }
 
-// StoreStats describe the current snapshot.
+// StoreStats describe the current snapshot. A snapshot with pending
+// changes is an overlay: BaseTriples is its fully indexed base's size and
+// PendingInserts/PendingDeletes the delta merged in on every read.
 type StoreStats struct {
-	Triples    int    `json:"triples"`
-	Generation uint64 `json:"generation"`
-	Source     string `json:"source,omitempty"`
+	Triples        int    `json:"triples"`
+	Generation     uint64 `json:"generation"`
+	Source         string `json:"source,omitempty"`
+	BaseTriples    int    `json:"base_triples"`
+	PendingInserts int    `json:"pending_inserts"`
+	PendingDeletes int    `json:"pending_deletes"`
+}
+
+// UpdateStats describe the update path since startup.
+type UpdateStats struct {
+	// Updates counts applied update requests; Compactions counts the
+	// snapshots that folded the pending delta into a fresh store
+	// (threshold-triggered or explicit Compact).
+	Updates     uint64 `json:"updates"`
+	Compactions uint64 `json:"compactions"`
+	// CompactThreshold is the delta size (inserts + deletes) at which the
+	// next update will compact, resolved against the current base.
+	CompactThreshold int `json:"compact_threshold"`
 }
 
 // HistogramStats is a serialized stats.Histogram: bucket i of Counts covers
@@ -536,6 +722,7 @@ type RequestStats struct {
 // Stats is the full service statistics snapshot returned by /stats.
 type Stats struct {
 	Store    StoreStats              `json:"store"`
+	Updates  UpdateStats             `json:"updates"`
 	Cache    CacheStats              `json:"cache"`
 	Pool     PoolStats               `json:"pool"`
 	Parallel ParallelStats           `json:"parallel"`
@@ -546,11 +733,23 @@ type Stats struct {
 // Stats returns a consistent-enough snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	st := s.state.Load()
+	storeStats := StoreStats{
+		Triples:     st.store.Len(),
+		Generation:  st.gen,
+		Source:      st.source,
+		BaseTriples: st.store.Len(),
+	}
+	if d := st.store.Delta(); d != nil {
+		storeStats.BaseTriples = d.Base().Len()
+		storeStats.PendingInserts = d.InsertCount()
+		storeStats.PendingDeletes = d.DeleteCount()
+	}
 	out := Stats{
-		Store: StoreStats{
-			Triples:    st.store.Len(),
-			Generation: st.gen,
-			Source:     st.source,
+		Store: storeStats,
+		Updates: UpdateStats{
+			Updates:          s.updates.Load(),
+			Compactions:      s.compactions.Load(),
+			CompactThreshold: s.compactThreshold(baseOf(st.store)),
 		},
 		Cache: CacheStats{
 			Size:      st.cache.size(),

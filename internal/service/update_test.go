@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+const probeQuery = `SELECT ?s ?o WHERE { ?s <http://x/knows> ?o . } ORDER BY ?s ?o`
+
+func TestServiceUpdate(t *testing.T) {
+	svc := New(buildTinyStore(t), "tiny", Options{})
+	ctx := context.Background()
+
+	before, err := svc.Query(ctx, probeQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Update(ctx, `INSERT DATA { <http://x/dave> <http://x/knows> <http://x/erin> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deleted != 0 || res.PendingInserts != 1 || res.Compacted {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.Generation != before.Generation+1 {
+		t.Fatalf("generation = %d, want %d", res.Generation, before.Generation+1)
+	}
+	after, err := svc.Query(ctx, probeQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Result.Rows) != len(before.Result.Rows)+1 {
+		t.Fatalf("rows = %d, want %d", len(after.Result.Rows), len(before.Result.Rows)+1)
+	}
+	if after.Generation != res.Generation {
+		t.Fatalf("query ran against generation %d, want %d", after.Generation, res.Generation)
+	}
+	// Delete one base edge; both changes are now pending on the overlay.
+	res, err = svc.Update(ctx, `DELETE DATA { <http://x/alice> <http://x/knows> <http://x/bob> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PendingInserts != 1 || res.PendingDeletes != 1 {
+		t.Fatalf("pending = %d/%d, want 1/1", res.PendingInserts, res.PendingDeletes)
+	}
+	st := svc.Stats()
+	if st.Store.PendingInserts != 1 || st.Store.PendingDeletes != 1 ||
+		st.Store.Triples != st.Store.BaseTriples+st.Store.PendingInserts-st.Store.PendingDeletes {
+		t.Fatalf("stats store = %+v", st.Store)
+	}
+	if st.Updates.Updates != 2 || st.Updates.Compactions != 0 {
+		t.Fatalf("stats updates = %+v", st.Updates)
+	}
+	// Explicit compaction folds the overlay.
+	gen := svc.Compact()
+	if gen <= res.Generation {
+		t.Fatalf("Compact generation = %d", gen)
+	}
+	st = svc.Stats()
+	if st.Store.PendingInserts != 0 || st.Store.PendingDeletes != 0 || st.Updates.Compactions != 1 {
+		t.Fatalf("stats after compact = %+v / %+v", st.Store, st.Updates)
+	}
+	final, err := svc.Query(ctx, probeQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Result.Rows) != len(after.Result.Rows)-1 {
+		t.Fatalf("rows after delete+compact = %d, want %d", len(final.Result.Rows), len(after.Result.Rows)-1)
+	}
+	// Parse errors are input errors; nothing is published.
+	genBefore := svc.Generation()
+	if _, err := svc.Update(ctx, `INSERT garbage`); err == nil || !IsInputError(err) {
+		t.Fatalf("bad update error = %v", err)
+	}
+	if svc.Generation() != genBefore {
+		t.Fatal("failed update must not publish a snapshot")
+	}
+	// A semantically empty update (re-inserting an existing triple) keeps
+	// the current snapshot — and therefore the plan cache — instead of
+	// publishing an identical generation.
+	warm, err := svc.Query(ctx, probeQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = svc.Update(ctx, `INSERT DATA { <http://x/alice> <http://x/knows> <http://x/carol> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != genBefore || res.Compacted {
+		t.Fatalf("no-op update result = %+v, want generation %d", res, genBefore)
+	}
+	cached, err := svc.Query(ctx, probeQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Generation != warm.Generation || !cached.CacheHit {
+		t.Fatalf("no-op update must preserve the snapshot and plan cache: gen %d vs %d, hit=%v",
+			cached.Generation, warm.Generation, cached.CacheHit)
+	}
+}
+
+func TestServiceUpdateAutoCompaction(t *testing.T) {
+	svc := New(buildTinyStore(t), "", Options{CompactThreshold: 2})
+	ctx := context.Background()
+	res, err := svc.Update(ctx, `INSERT DATA { <http://x/u1> <http://x/knows> <http://x/u2> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compacted || res.PendingInserts != 1 {
+		t.Fatalf("first update should stay an overlay: %+v", res)
+	}
+	res, err = svc.Update(ctx, `INSERT DATA { <http://x/u3> <http://x/knows> <http://x/u4> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.PendingInserts != 0 || res.PendingDeletes != 0 {
+		t.Fatalf("threshold update should compact: %+v", res)
+	}
+	if st := svc.Stats(); st.Updates.Compactions != 1 || st.Updates.CompactThreshold != 2 {
+		t.Fatalf("stats = %+v", st.Updates)
+	}
+	// Negative threshold never auto-compacts.
+	svc2 := New(buildTinyStore(t), "", Options{CompactThreshold: -1})
+	for i := 0; i < 5; i++ {
+		res, err = svc2.Update(ctx, fmt.Sprintf(`INSERT DATA { <http://x/n%d> <http://x/knows> <http://x/m%d> . }`, i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Compacted {
+			t.Fatal("negative threshold must never compact")
+		}
+	}
+	if res.PendingInserts != 5 {
+		t.Fatalf("pending inserts = %d, want 5", res.PendingInserts)
+	}
+}
+
+func TestHTTPUpdate(t *testing.T) {
+	post := func(srv *httptest.Server, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+	// Disabled by default.
+	locked := httptest.NewServer(New(buildTinyStore(t), "", Options{}).Handler())
+	defer locked.Close()
+	resp, _ := post(locked, "/update", `{"update": "INSERT DATA { <http://x/a> <http://x/p> <http://x/b> . }"}`)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("update without AllowUpdate = %d, want 403", resp.StatusCode)
+	}
+
+	srv := httptest.NewServer(New(buildTinyStore(t), "", Options{AllowUpdate: true}).Handler())
+	defer srv.Close()
+	resp, body := post(srv, "/update", `{"update": "INSERT DATA { <http://x/dave> <http://x/knows> <http://x/erin> . }"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update = %d: %s", resp.StatusCode, body)
+	}
+	var res UpdateResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.PendingInserts != 1 || res.Generation != 2 {
+		t.Fatalf("update result = %+v", res)
+	}
+	// The inserted edge is queryable and /stats reports the delta.
+	resp, body = post(srv, "/query", fmt.Sprintf(`{"query": %q}`, probeQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d: %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		RowCount   int    `json:"row_count"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowCount != 4 || qr.Generation != 2 {
+		t.Fatalf("query after update = %+v", qr)
+	}
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.PendingInserts != 1 || st.Updates.Updates != 1 {
+		t.Fatalf("stats = %+v / %+v", st.Store, st.Updates)
+	}
+	// Malformed updates are 400s.
+	resp, _ = post(srv, "/update", `{"update": "INSERT nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad update = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(srv, "/update", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty update = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestUpdateQueryReloadRace is the writers-vs-readers MVCC check: one
+// writer commits deltas (with auto-compaction firing along the way) and
+// occasionally reloads the original dataset from disk, while reader
+// goroutines hammer the probe query. Every observed result must be
+// byte-identical to the result the writer recorded for that snapshot
+// generation — a reader can never see a half-applied update or a mix of
+// two snapshots. Run under -race.
+func TestUpdateQueryReloadRace(t *testing.T) {
+	base := buildTinyStore(t)
+	ntPath := filepath.Join(t.TempDir(), "base.nt")
+	var nt bytes.Buffer
+	matches, _ := base.Match(store.Pattern{})
+	for _, tr := range matches {
+		d := base.Dict()
+		fmt.Fprintf(&nt, "%s %s %s .\n", d.Decode(tr.S), d.Decode(tr.P), d.Decode(tr.O))
+	}
+	if err := os.WriteFile(ntPath, nt.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(base, "tiny", Options{Workers: 4, QueueDepth: 1 << 16, CompactThreshold: 4})
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	expected := make(map[uint64]string)
+	record := func() error {
+		out, err := svc.Query(ctx, probeQuery, nil)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		expected[out.Generation] = canonical(out)
+		mu.Unlock()
+		return nil
+	}
+	if err := record(); err != nil {
+		t.Fatal(err)
+	}
+
+	type observation struct {
+		gen uint64
+		got string
+	}
+	const readers = 6
+	obsCh := make(chan []observation, readers)
+	errCh := make(chan error, readers+1)
+	var readerWG, writerWG sync.WaitGroup
+	readersDone := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			var obs []observation
+			defer func() { obsCh <- obs }()
+			for i := 0; i < 150; i++ {
+				out, err := svc.Query(ctx, probeQuery, nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				obs = append(obs, observation{gen: out.Generation, got: canonical(out)})
+			}
+		}()
+	}
+
+	// The single writer: inserts, deletes, compactions and reloads, each
+	// followed by recording the published generation's expected result. It
+	// keeps mutating until every reader has finished its observations (or
+	// an iteration cap, as a hang backstop).
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; i < 5000; i++ {
+			if i >= 20 { // always run enough iterations to hit compaction
+				select {
+				case <-readersDone:
+					return
+				default:
+				}
+			}
+			var text string
+			if i%3 == 2 {
+				text = fmt.Sprintf(`DELETE DATA { <http://x/w%d> <http://x/knows> <http://x/v%d> . }`, i-1, i-1)
+			} else {
+				text = fmt.Sprintf(`INSERT DATA { <http://x/w%d> <http://x/knows> <http://x/v%d> . }`, i, i)
+			}
+			if _, err := svc.Update(ctx, text); err != nil {
+				errCh <- fmt.Errorf("writer update %d: %w", i, err)
+				return
+			}
+			if err := record(); err != nil {
+				errCh <- fmt.Errorf("writer record %d: %w", i, err)
+				return
+			}
+			if i%13 == 12 {
+				if _, _, err := svc.Reload(ntPath); err != nil {
+					errCh <- fmt.Errorf("writer reload %d: %w", i, err)
+					return
+				}
+				if err := record(); err != nil {
+					errCh <- fmt.Errorf("writer record after reload %d: %w", i, err)
+					return
+				}
+			}
+		}
+	}()
+
+	readerWG.Wait()
+	close(readersDone)
+	writerWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	total := 0
+	for g := 0; g < readers; g++ {
+		for _, o := range <-obsCh {
+			total++
+			mu.Lock()
+			want, ok := expected[o.gen]
+			mu.Unlock()
+			if !ok {
+				t.Fatalf("reader observed unrecorded generation %d", o.gen)
+			}
+			if o.got != want {
+				t.Fatalf("generation %d: reader result diverges from committed snapshot\ngot:\n%s\nwant:\n%s",
+					o.gen, o.got, want)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("readers made no observations")
+	}
+	if st := svc.Stats(); st.Updates.Compactions == 0 {
+		t.Fatalf("test meant to exercise auto-compaction: %+v", st.Updates)
+	}
+}

@@ -152,7 +152,22 @@ type Query struct {
 	Where    []TriplePattern
 	Filters  []Filter
 	OrderBy  []OrderKey
-	Limit    int // 0 means no limit
+	Limit    int // with HasLimit false, 0 means no limit (legacy literals)
+	// HasLimit distinguishes an explicit LIMIT 0 (empty result) from no
+	// LIMIT at all. The parser always sets it; code constructing Query
+	// literals may keep using Limit > 0 alone.
+	HasLimit bool
+	Offset   int // rows to skip before the limit; 0 means none
+}
+
+// LimitCount returns the effective limit and whether one applies: an
+// explicit LIMIT (HasLimit, including LIMIT 0) or a legacy positive
+// Limit.
+func (q *Query) LimitCount() (int, bool) {
+	if q.HasLimit || q.Limit > 0 {
+		return q.Limit, true
+	}
+	return 0, false
 }
 
 // Vars returns all distinct variables mentioned in the WHERE clause.
@@ -223,6 +238,8 @@ func (q *Query) Bind(b Binding) (*Query, error) {
 		Select:   append([]Var(nil), q.Select...),
 		OrderBy:  append([]OrderKey(nil), q.OrderBy...),
 		Limit:    q.Limit,
+		HasLimit: q.HasLimit,
+		Offset:   q.Offset,
 	}
 	for _, tp := range q.Where {
 		s, err := subst(tp.S)
@@ -288,8 +305,11 @@ func (q *Query) String() string {
 			}
 		}
 	}
-	if q.Limit > 0 {
+	if _, has := q.LimitCount(); has {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
 	}
 	return b.String()
 }

@@ -2,10 +2,10 @@ package sparql
 
 import "testing"
 
-// FuzzParse checks the query parser on arbitrary input: no panics, and
+// FuzzParseQuery checks the query parser on arbitrary input: no panics, and
 // every successfully parsed query must render (String) to text that parses
 // again to the same rendering (fixpoint).
-func FuzzParse(f *testing.F) {
+func FuzzParseQuery(f *testing.F) {
 	seeds := []string{
 		`SELECT * WHERE { ?s ?p ?o . }`,
 		`PREFIX ex: <http://x/> SELECT DISTINCT ?s WHERE { ?s a ex:T ; ex:p "v"@en, 42 . } ORDER BY DESC(?s) LIMIT 3`,
@@ -32,6 +32,46 @@ func FuzzParse(f *testing.F) {
 		}
 		if q2.String() != rendered {
 			t.Fatalf("String not a fixpoint:\nfirst:  %q\nsecond: %q", rendered, q2.String())
+		}
+	})
+}
+
+// FuzzParseUpdate checks the SPARQL-Update parser on arbitrary input: no
+// panics, every parsed update holds only ground valid triples, and the
+// rendering re-parses to the same rendering (fixpoint).
+func FuzzParseUpdate(f *testing.F) {
+	seeds := []string{
+		`INSERT DATA { <http://x/s> <http://x/p> <http://x/o> . }`,
+		`PREFIX ex: <http://x/> INSERT DATA { ex:s a ex:T ; ex:p "v"@en, 42 . } ; DELETE DATA { ex:s ex:p ex:o . } ;`,
+		`DELETE DATA { <http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		`INSERT DATA { ?s <http://x/p> <http://x/o> . }`,
+		`INSERT DATA { <http://x/s> <http://x/p> <http://x/o> .`,
+		`INSERT { <http://x/s> <http://x/p> <http://x/o> . }`,
+		`SELECT * WHERE { ?s ?p ?o . }`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := ParseUpdate(src)
+		if err != nil {
+			return
+		}
+		for _, op := range u.Ops {
+			for _, tr := range op.Triples {
+				if !tr.Valid() {
+					t.Fatalf("parsed update holds invalid triple %v\nsource: %q", tr, src)
+				}
+			}
+		}
+		rendered := u.String()
+		u2, err := ParseUpdate(rendered)
+		if err != nil {
+			t.Fatalf("rendering of valid update does not re-parse: %v\nsource: %q\nrendered: %q", err, src, rendered)
+		}
+		if u2.String() != rendered {
+			t.Fatalf("String not a fixpoint:\nfirst:  %q\nsecond: %q", rendered, u2.String())
 		}
 	})
 }

@@ -11,7 +11,7 @@ import (
 // Parse parses a SPARQL-subset query text, possibly containing %param
 // placeholders. The grammar:
 //
-//	query    := prefix* "SELECT" "DISTINCT"? ("*" | var+) "WHERE"? "{" block "}" order? limit?
+//	query    := prefix* "SELECT" "DISTINCT"? ("*" | var+) "WHERE"? "{" block "}" order? slice
 //	prefix   := "PREFIX" PNAME IRIREF
 //	block    := (triples | filter)*
 //	triples  := node predobj (";" predobj)* "."
@@ -20,7 +20,7 @@ import (
 //	cmp      := node OP node
 //	order    := "ORDER" "BY" key+
 //	key      := var | "ASC" "(" var ")" | "DESC" "(" var ")"
-//	limit    := "LIMIT" integer
+//	slice    := ("LIMIT" integer | "OFFSET" integer)*   (each at most once)
 //
 // where node is an IRI, prefixed name, literal, number, variable or %param.
 // The 'a' keyword abbreviates rdf:type as in Turtle/SPARQL.
@@ -125,18 +125,31 @@ func (p *parser) query() (*Query, error) {
 			return nil, err
 		}
 	}
-	if p.isKeyword("LIMIT") {
+	// LIMIT and OFFSET are accepted in either order, each at most once
+	// (the SPARQL LimitOffsetClauses production).
+	seenOffset := false
+	for p.isKeyword("LIMIT") || p.isKeyword("OFFSET") {
+		kw := strings.ToUpper(p.tok.text)
+		if kw == "LIMIT" && q.HasLimit || kw == "OFFSET" && seenOffset {
+			return nil, p.errf("duplicate %s clause", kw)
+		}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
 		if p.tok.kind != tokNumber {
-			return nil, p.errf("expected integer after LIMIT")
+			return nil, p.errf("expected integer after %s", kw)
 		}
 		n, err := strconv.Atoi(p.tok.text)
 		if err != nil || n < 0 {
-			return nil, p.errf("invalid LIMIT %q", p.tok.text)
+			return nil, p.errf("invalid %s %q", kw, p.tok.text)
 		}
-		q.Limit = n
+		if kw == "LIMIT" {
+			q.Limit = n
+			q.HasLimit = true
+		} else {
+			q.Offset = n
+			seenOffset = true
+		}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}

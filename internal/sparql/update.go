@@ -1,0 +1,216 @@
+package sparql
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// This file implements the SPARQL-Update subset the updatable store
+// needs: INSERT DATA and DELETE DATA over ground triples. The grammar:
+//
+//	update := prefix* op (";" op)* ";"?
+//	op     := ("INSERT" | "DELETE") "DATA" "{" data "}"
+//	data   := (node predobj (";" predobj)* ".")*
+//
+// where every node must be a constant term — variables and %parameters
+// are update-parse errors. PREFIX declarations and the 'a' keyword work
+// as in queries, and the ';'/',' predicate-object abbreviations of the
+// query grammar are accepted inside data blocks.
+
+// UpdateOp is one INSERT DATA or DELETE DATA operation.
+type UpdateOp struct {
+	Insert  bool // true for INSERT DATA, false for DELETE DATA
+	Triples []rdf.Triple
+}
+
+// Update is a parsed SPARQL-Update request: a sequence of operations
+// applied in order.
+type Update struct {
+	Ops []UpdateOp
+}
+
+// InsertCount returns the total number of triples named by INSERT DATA
+// operations (before set semantics are applied by the store).
+func (u *Update) InsertCount() int { return u.count(true) }
+
+// DeleteCount returns the total number of triples named by DELETE DATA
+// operations.
+func (u *Update) DeleteCount() int { return u.count(false) }
+
+func (u *Update) count(insert bool) int {
+	n := 0
+	for _, op := range u.Ops {
+		if op.Insert == insert {
+			n += len(op.Triples)
+		}
+	}
+	return n
+}
+
+// String renders the update in parseable syntax.
+func (u *Update) String() string {
+	var b strings.Builder
+	for i, op := range u.Ops {
+		if i > 0 {
+			b.WriteString(" ;\n")
+		}
+		if op.Insert {
+			b.WriteString("INSERT DATA {\n")
+		} else {
+			b.WriteString("DELETE DATA {\n")
+		}
+		for _, t := range op.Triples {
+			b.WriteString("  " + t.String() + "\n")
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// ParseUpdate parses a SPARQL-Update request (INSERT DATA / DELETE DATA
+// operations, ';'-separated).
+func ParseUpdate(src string) (*Update, error) {
+	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	u, err := p.update()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing content after update")
+	}
+	return u, nil
+}
+
+// MustParseUpdate is ParseUpdate that panics on error; intended for
+// static definitions in tests and examples.
+func MustParseUpdate(src string) *Update {
+	u, err := ParseUpdate(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func (p *parser) update() (*Update, error) {
+	for p.isKeyword("PREFIX") {
+		if err := p.prefixDecl(); err != nil {
+			return nil, err
+		}
+	}
+	u := &Update{}
+	for {
+		var insert bool
+		switch {
+		case p.isKeyword("INSERT"):
+			insert = true
+		case p.isKeyword("DELETE"):
+			insert = false
+		default:
+			if len(u.Ops) == 0 {
+				return nil, p.errf("expected INSERT DATA or DELETE DATA")
+			}
+			return u, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("DATA"); err != nil {
+			return nil, err
+		}
+		triples, err := p.dataBlock()
+		if err != nil {
+			return nil, err
+		}
+		u.Ops = append(u.Ops, UpdateOp{Insert: insert, Triples: triples})
+		if p.tok.kind != tokSemicolon {
+			return u, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Allow a trailing ';' after the last operation.
+		if p.tok.kind == tokEOF {
+			return u, nil
+		}
+	}
+}
+
+// dataBlock parses '{' ground triples '}' with the query grammar's
+// ';'/',' abbreviations, requiring every node to be a constant term.
+func (p *parser) dataBlock() ([]rdf.Triple, error) {
+	if p.tok.kind != tokLBrace {
+		return nil, p.errf("expected '{' after DATA")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []rdf.Triple
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated DATA block")
+		}
+		subj, err := p.groundNode()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			pred, err := p.groundNode()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				obj, err := p.groundNode()
+				if err != nil {
+					return nil, err
+				}
+				t := rdf.Triple{S: subj, P: pred, O: obj}
+				if !t.Valid() {
+					return nil, p.errf("invalid triple %s (subject must be IRI or blank, predicate an IRI)", t)
+				}
+				out = append(out, t)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.kind != tokSemicolon {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokDot {
+				break
+			}
+		}
+		if p.tok.kind != tokDot {
+			return nil, p.errf("expected '.' after triple")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return out, p.advance() // consume '}'
+}
+
+// groundNode parses one node of a DATA block and requires it to be a
+// constant term.
+func (p *parser) groundNode() (rdf.Term, error) {
+	n, err := p.node()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch n.Kind {
+	case NodeVar:
+		return rdf.Term{}, p.errf("variable ?%s not allowed in DATA block (ground triples only)", n.Var)
+	case NodeParam:
+		return rdf.Term{}, p.errf("parameter %%%s not allowed in DATA block (ground triples only)", n.Param)
+	}
+	return n.Term, nil
+}

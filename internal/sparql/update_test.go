@@ -1,0 +1,122 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseUpdateBasic(t *testing.T) {
+	u, err := ParseUpdate(`
+		PREFIX ex: <http://x/>
+		INSERT DATA {
+			ex:s ex:p ex:o .
+			ex:s a ex:T ; ex:q "v"@en, 42 .
+		} ;
+		DELETE DATA { <http://x/s> <http://x/p> <http://x/o> . } ;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 2 || !u.Ops[0].Insert || u.Ops[1].Insert {
+		t.Fatalf("ops = %+v", u.Ops)
+	}
+	if u.InsertCount() != 4 || u.DeleteCount() != 1 {
+		t.Fatalf("counts = %d/%d, want 4/1", u.InsertCount(), u.DeleteCount())
+	}
+	want := rdf.Triple{S: rdf.NewIRI("http://x/s"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("http://x/T")}
+	if u.Ops[0].Triples[1] != want {
+		t.Fatalf("'a' keyword not expanded: %v", u.Ops[0].Triples[1])
+	}
+	if u.Ops[0].Triples[2].O != rdf.NewLangLiteral("v", "en") {
+		t.Fatalf("lang literal object = %v", u.Ops[0].Triples[2].O)
+	}
+	if u.Ops[0].Triples[3].O != rdf.NewTypedLiteral("42", rdf.XSDInteger) {
+		t.Fatalf("numeric object = %v", u.Ops[0].Triples[3].O)
+	}
+}
+
+func TestParseUpdateRoundTrip(t *testing.T) {
+	u := MustParseUpdate(`INSERT DATA { <http://x/a> <http://x/p> "v" . } ; DELETE DATA { <http://x/a> <http://x/p> "w"^^<http://www.w3.org/2001/XMLSchema#integer> . }`)
+	rendered := u.String()
+	u2, err := ParseUpdate(rendered)
+	if err != nil {
+		t.Fatalf("rendered update does not re-parse: %v\n%s", err, rendered)
+	}
+	if u2.String() != rendered {
+		t.Fatalf("String not a fixpoint:\n%s\nvs\n%s", rendered, u2.String())
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", ``, "expected INSERT DATA or DELETE DATA"},
+		{"select", `SELECT * WHERE { ?s ?p ?o . }`, "expected INSERT DATA or DELETE DATA"},
+		{"missing data", `INSERT { <http://x/a> <http://x/p> "v" . }`, `expected "DATA"`},
+		{"variable", `INSERT DATA { ?s <http://x/p> "v" . }`, "not allowed in DATA block"},
+		{"parameter", `INSERT DATA { <http://x/a> <http://x/p> %v . }`, "not allowed in DATA block"},
+		{"literal subject", `INSERT DATA { "lit" <http://x/p> "v" . }`, "invalid triple"},
+		{"literal predicate", `DELETE DATA { <http://x/a> "p" "v" . }`, "invalid triple"},
+		{"unterminated", `INSERT DATA { <http://x/a> <http://x/p> "v" .`, "unterminated DATA block"},
+		{"missing dot", `INSERT DATA { <http://x/a> <http://x/p> "v" }`, "expected '.'"},
+		{"trailing", `INSERT DATA { <http://x/a> <http://x/p> "v" . } garbage`, "trailing content"},
+		{"undeclared prefix", `INSERT DATA { ex:a ex:p ex:o . }`, "undeclared prefix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseUpdate(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseUpdate(%q) error = %v, want containing %q", tc.src, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseLimitOffset(t *testing.T) {
+	cases := []struct {
+		src      string
+		limit    int
+		hasLimit bool
+		offset   int
+	}{
+		{`SELECT * WHERE { ?s ?p ?o . }`, 0, false, 0},
+		{`SELECT * WHERE { ?s ?p ?o . } LIMIT 0`, 0, true, 0},
+		{`SELECT * WHERE { ?s ?p ?o . } LIMIT 5`, 5, true, 0},
+		{`SELECT * WHERE { ?s ?p ?o . } OFFSET 3`, 0, false, 3},
+		{`SELECT * WHERE { ?s ?p ?o . } LIMIT 5 OFFSET 3`, 5, true, 3},
+		{`SELECT * WHERE { ?s ?p ?o . } OFFSET 3 LIMIT 5`, 5, true, 3},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		limit, has := q.LimitCount()
+		if limit != tc.limit || has != tc.hasLimit || q.Offset != tc.offset {
+			t.Fatalf("Parse(%q) = limit %d/%v offset %d, want %d/%v %d",
+				tc.src, limit, has, q.Offset, tc.limit, tc.hasLimit, tc.offset)
+		}
+		// Rendering round-trips with identical slice semantics.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q.String(), err)
+		}
+		l2, h2 := q2.LimitCount()
+		if l2 != limit || h2 != has || q2.Offset != q.Offset {
+			t.Fatalf("round trip of %q lost slice: %s", tc.src, q.String())
+		}
+	}
+	for _, bad := range []string{
+		`SELECT * WHERE { ?s ?p ?o . } LIMIT 1 LIMIT 2`,
+		`SELECT * WHERE { ?s ?p ?o . } OFFSET 1 OFFSET 2`,
+		`SELECT * WHERE { ?s ?p ?o . } LIMIT -1`,
+		`SELECT * WHERE { ?s ?p ?o . } OFFSET x`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// This file implements the updatable-store layer: an immutable Delta of
+// insertions and deletions against a base Store, published either as an
+// overlay snapshot (Overlay: the base's indexes stay untouched and every
+// read merges the delta in on the fly) or folded into a fresh fully
+// indexed store (Commit). Both results are ordinary immutable *Store
+// values, so the MVCC story is the existing one: writers build a new
+// snapshot and swap an atomic pointer; in-flight readers keep the snapshot
+// they pinned.
+//
+// Invariants (established by Apply, validated by the v3 snapshot reader):
+//
+//   - ins ∩ base = ∅ — an insertion never duplicates a base triple;
+//   - del ⊆ base — a deletion always names an existing base triple;
+//   - ins ∩ del = ∅ — a triple is never both inserted and deleted.
+//
+// These keep every overlay count exact: |overlay| = |base| − |del| + |ins|
+// holds for the whole store and for any index range, which is what lets
+// the overlay's Count/Len/PredicateStats agree bit-for-bit with a store
+// rebuilt from the merged triple set — and therefore lets the optimizer
+// pick the same plan over either, the property the differential harness
+// asserts.
+
+// Delta is an immutable batch of insertions and deletions over a base
+// Store. The insert and delete sets are kept sorted under every
+// permutation order, so every index range the base can answer has a
+// matching delta run and all permutation indexes stay virtually
+// consistent under overlay reads. Create one with Store.NewDelta, extend
+// it with Apply (copy-on-write; the receiver is never mutated), and
+// publish it with Overlay or Commit.
+type Delta struct {
+	base *Store
+	ins  [numOrders][]IDTriple
+	del  [numOrders][]IDTriple
+}
+
+// NewDelta returns the pending delta of s: the empty delta for a plain
+// store, or the overlay's current delta so updates over an overlay
+// snapshot extend it rather than stack overlays.
+func (s *Store) NewDelta() *Delta {
+	if s.delta != nil {
+		return s.delta
+	}
+	return &Delta{base: s}
+}
+
+// Delta returns the delta an overlay store reads through, or nil for a
+// plain (fully indexed) store.
+func (s *Store) Delta() *Delta { return s.delta }
+
+// Base returns the store the delta applies to.
+func (d *Delta) Base() *Store { return d.base }
+
+// InsertCount returns the number of pending inserted triples.
+func (d *Delta) InsertCount() int { return len(d.ins[orderSPO]) }
+
+// DeleteCount returns the number of pending deleted triples.
+func (d *Delta) DeleteCount() int { return len(d.del[orderSPO]) }
+
+// Size returns the total number of pending changes (inserts + deletes) —
+// the quantity auto-compaction policies threshold on.
+func (d *Delta) Size() int { return d.InsertCount() + d.DeleteCount() }
+
+// Empty reports whether the delta holds no changes.
+func (d *Delta) Empty() bool { return d.Size() == 0 }
+
+// contains reports whether the base store holds t.
+func (s *Store) baseContains(t IDTriple) bool {
+	idx := s.idx[orderSPO]
+	lo, hi := searchRange(idx, orderSPO, Pattern{S: t.S, P: t.P, O: t.O})
+	return hi > lo
+}
+
+// DeltaOp is one insert-or-delete batch of an update. A multi-operation
+// update (e.g. a parsed SPARQL-Update request) folds into a Delta through
+// ApplyOps with one sort at the end instead of one per operation.
+type DeltaOp struct {
+	Insert  bool // true inserts Triples, false deletes them
+	Triples []rdf.Triple
+}
+
+// Apply returns a Delta extending d with the given insertions and
+// deletions, under RDF set semantics applied in argument order (all
+// inserts, then all deletes): inserting a triple already present (in the
+// base and not deleted, or already inserted) is a no-op; inserting a
+// deleted base triple resurrects it; deleting an inserted triple removes
+// the insertion; deleting an absent triple is a no-op. New terms are
+// encoded into the base store's shared dictionary. d itself is never
+// mutated, so snapshots holding it stay valid; when nothing changes, d
+// itself is returned (callers can use pointer equality to skip
+// republishing).
+func (d *Delta) Apply(ins, del []rdf.Triple) (*Delta, error) {
+	var ops []DeltaOp
+	if len(ins) > 0 {
+		ops = append(ops, DeltaOp{Insert: true, Triples: ins})
+	}
+	if len(del) > 0 {
+		ops = append(ops, DeltaOp{Triples: del})
+	}
+	return d.ApplyOps(ops)
+}
+
+// ApplyOps is Apply over an ordered operation sequence. It is
+// incremental: membership in the pending sets is answered by binary
+// search on the existing sorted runs plus four small touch-sets (triples
+// this call adds to / removes from each set), and each order's new run is
+// produced by one linear merge of the old run with the sorted touches —
+// no per-update rebuild of the whole delta and no full re-sort, so a
+// k-triple update against an n-change pending delta costs O(k log n)
+// bookkeeping plus the unavoidable copy-on-write O(n) per order. Returns
+// d itself when the ops leave the delta semantically unchanged (including
+// an insert cancelled by a later delete in the same call), so callers can
+// skip republishing on pointer equality.
+func (d *Delta) ApplyOps(ops []DeltaOp) (*Delta, error) {
+	for _, op := range ops {
+		for _, t := range op.Triples {
+			if !t.Valid() {
+				return nil, fmt.Errorf("store: invalid triple %v", t)
+			}
+		}
+	}
+	var (
+		dd     = d.base.dict
+		oldIns = d.ins[orderSPO]
+		oldDel = d.del[orderSPO]
+		// Touch-sets: what this call adds to / removes from each pending
+		// set, relative to d. Empty at the end ⇔ nothing changed.
+		insAdd = map[IDTriple]struct{}{}
+		insRem = map[IDTriple]struct{}{}
+		delAdd = map[IDTriple]struct{}{}
+		delRem = map[IDTriple]struct{}{}
+	)
+	member := func(old []IDTriple, rem, add map[IDTriple]struct{}, it IDTriple) bool {
+		if _, ok := add[it]; ok {
+			return true
+		}
+		if _, ok := rem[it]; ok {
+			return false
+		}
+		return sortedContains(old, orderSPO, it)
+	}
+	// remove drops a current member (it is in the add-set or the old
+	// run); insert admits a current non-member (it may re-admit an old
+	// entry removed earlier in this call).
+	remove := func(rem, add map[IDTriple]struct{}, it IDTriple) {
+		if _, ok := add[it]; ok {
+			delete(add, it)
+			return
+		}
+		rem[it] = struct{}{}
+	}
+	insert := func(rem, add map[IDTriple]struct{}, it IDTriple) {
+		if _, ok := rem[it]; ok {
+			delete(rem, it)
+			return
+		}
+		add[it] = struct{}{}
+	}
+	for _, op := range ops {
+		for _, t := range op.Triples {
+			if op.Insert {
+				it := IDTriple{S: dd.Encode(t.S), P: dd.Encode(t.P), O: dd.Encode(t.O)}
+				switch {
+				case member(oldDel, delRem, delAdd, it):
+					remove(delRem, delAdd, it) // resurrect a deleted base triple
+				case d.base.baseContains(it) || member(oldIns, insRem, insAdd, it):
+					// Already present.
+				default:
+					insert(insRem, insAdd, it)
+				}
+				continue
+			}
+			// Lookup-only: deleting a triple with unknown terms is a no-op
+			// and must not grow the dictionary.
+			s, okS := dd.Lookup(t.S)
+			p, okP := dd.Lookup(t.P)
+			o, okO := dd.Lookup(t.O)
+			if !okS || !okP || !okO {
+				continue
+			}
+			it := IDTriple{S: s, P: p, O: o}
+			switch {
+			case member(oldIns, insRem, insAdd, it):
+				remove(insRem, insAdd, it) // cancel a pending insert
+			case member(oldDel, delRem, delAdd, it):
+				// Already deleted.
+			case d.base.baseContains(it):
+				insert(delRem, delAdd, it)
+			}
+		}
+	}
+	if len(insAdd)+len(insRem)+len(delAdd)+len(delRem) == 0 {
+		return d, nil
+	}
+	out := &Delta{base: d.base}
+	for o := order(0); o < numOrders; o++ {
+		out.ins[o] = mergeTouches(d.ins[o], insAdd, insRem, o)
+		out.del[o] = mergeTouches(d.del[o], delAdd, delRem, o)
+	}
+	return out, nil
+}
+
+// mergeTouches produces a sorted run from an existing one plus small
+// add/remove touch-sets: the additions are sorted on their own and merged
+// into the old run in one linear pass that skips removed entries.
+func mergeTouches(old []IDTriple, add, rem map[IDTriple]struct{}, o order) []IDTriple {
+	if len(add) == 0 && len(rem) == 0 {
+		return old
+	}
+	added := setToSlice(add)
+	sortByOrder(added, o)
+	out := make([]IDTriple, 0, len(old)+len(added)-len(rem))
+	for len(old) > 0 || len(added) > 0 {
+		if len(old) > 0 {
+			if _, dead := rem[old[0]]; dead {
+				old = old[1:]
+				continue
+			}
+		}
+		switch {
+		case len(old) == 0:
+			out = append(out, added[0])
+			added = added[1:]
+		case len(added) == 0 || !lessByOrder(added[0], old[0], o):
+			out = append(out, old[0])
+			old = old[1:]
+		default:
+			out = append(out, added[0])
+			added = added[1:]
+		}
+	}
+	return out
+}
+
+// setSorted installs the insert and delete sets, sorting them under every
+// permutation order.
+func (d *Delta) setSorted(ins, del []IDTriple) {
+	for o := order(0); o < numOrders; o++ {
+		if len(ins) > 0 {
+			cp := make([]IDTriple, len(ins))
+			copy(cp, ins)
+			sortByOrder(cp, o)
+			d.ins[o] = cp
+		}
+		if len(del) > 0 {
+			cp := make([]IDTriple, len(del))
+			copy(cp, del)
+			sortByOrder(cp, o)
+			d.del[o] = cp
+		}
+	}
+}
+
+func setToSlice(set map[IDTriple]struct{}) []IDTriple {
+	out := make([]IDTriple, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// runFor returns the subrange of a delta slice (sorted by o) matching
+// pat's bound prefix — the delta-side counterpart of searchRange on a base
+// index.
+func runFor(idx []IDTriple, o order, pat Pattern) []IDTriple {
+	lo, hi := searchRange(idx, o, pat)
+	return idx[lo:hi]
+}
+
+// mergeRuns streams the union of a base index run and an insert run (both
+// sorted by o), masking the delete run (sorted by o, a subset of the base
+// run), calling fn for every surviving triple in index order.
+func mergeRuns(base, del, ins []IDTriple, o order, fn func(IDTriple)) {
+	for len(base) > 0 || len(ins) > 0 {
+		// Skip deleted base triples; deletions never reorder emissions, so
+		// consuming them eagerly is safe.
+		if len(base) > 0 && len(del) > 0 && base[0] == del[0] {
+			base = base[1:]
+			del = del[1:]
+			continue
+		}
+		switch {
+		case len(base) == 0:
+			fn(ins[0])
+			ins = ins[1:]
+		case len(ins) == 0:
+			fn(base[0])
+			base = base[1:]
+		case lessByOrder(ins[0], base[0], o):
+			fn(ins[0])
+			ins = ins[1:]
+		default:
+			fn(base[0])
+			base = base[1:]
+		}
+	}
+}
+
+// Overlay returns an immutable snapshot that reads the base through the
+// delta: Match, Count, Scan, ScanPartitions, Len, PredicateStats,
+// SubjectsOfClass and DistinctValues all observe the merged triple set,
+// with exactly the values a store rebuilt from that set would report. The
+// base's six permutation indexes are shared, not copied; only the
+// statistics touched by the delta are recomputed (one merged pass over
+// each affected predicate run and rdf:type class). An empty delta returns
+// the base itself.
+func (d *Delta) Overlay() *Store {
+	if d.Empty() {
+		return d.base
+	}
+	base := d.base
+	s := &Store{
+		dict:  base.dict,
+		n:     base.n - d.DeleteCount() + d.InsertCount(),
+		idx:   base.idx,
+		delta: d,
+	}
+	s.pstats = d.patchedPredStats(s)
+	s.typeID, s.typeIdx = d.patchedTypeIndex(s)
+	return s
+}
+
+// patchedPredStats rebuilds the per-predicate statistics entries for every
+// predicate the delta touches, by one merged pass over that predicate's
+// PSO run (count + distinct subjects) and POS run (distinct objects).
+// Untouched predicates share the base's exact entries.
+func (d *Delta) patchedPredStats(s *Store) map[dict.ID]PredStats {
+	base := d.base
+	touched := make(map[dict.ID]struct{})
+	for _, t := range d.ins[orderSPO] {
+		touched[t.P] = struct{}{}
+	}
+	for _, t := range d.del[orderSPO] {
+		touched[t.P] = struct{}{}
+	}
+	out := make(map[dict.ID]PredStats, len(base.pstats)+len(touched))
+	for p, st := range base.pstats {
+		out[p] = st
+	}
+	for p := range touched {
+		pat := Pattern{P: p}
+		st := PredStats{}
+		var lastS dict.ID
+		pso := base.idx[orderPSO]
+		lo, hi := searchRange(pso, orderPSO, pat)
+		mergeRuns(pso[lo:hi], runFor(d.del[orderPSO], orderPSO, pat), runFor(d.ins[orderPSO], orderPSO, pat), orderPSO, func(t IDTriple) {
+			st.Count++
+			if st.Count == 1 || t.S != lastS {
+				st.DistinctS++
+				lastS = t.S
+			}
+		})
+		if st.Count == 0 {
+			delete(out, p)
+			continue
+		}
+		var lastO dict.ID
+		distO := 0
+		pos := base.idx[orderPOS]
+		lo, hi = searchRange(pos, orderPOS, pat)
+		mergeRuns(pos[lo:hi], runFor(d.del[orderPOS], orderPOS, pat), runFor(d.ins[orderPOS], orderPOS, pat), orderPOS, func(t IDTriple) {
+			if distO == 0 || t.O != lastO {
+				distO++
+				lastO = t.O
+			}
+		})
+		st.DistinctO = distO
+		out[p] = st
+	}
+	return out
+}
+
+// patchedTypeIndex rebuilds the class → sorted-member-subjects entries for
+// every rdf:type class the delta touches. The rdf:type ID is re-resolved
+// from the shared dictionary, so a delta inserting the very first rdf:type
+// triple makes the type index appear on the overlay.
+func (d *Delta) patchedTypeIndex(s *Store) (dict.ID, map[dict.ID][]dict.ID) {
+	base := d.base
+	typeID, ok := base.dict.Lookup(rdf.NewIRI(rdf.RDFType))
+	if !ok {
+		return base.typeID, base.typeIdx
+	}
+	touched := make(map[dict.ID]struct{})
+	for _, t := range d.ins[orderSPO] {
+		if t.P == typeID {
+			touched[t.O] = struct{}{}
+		}
+	}
+	for _, t := range d.del[orderSPO] {
+		if t.P == typeID {
+			touched[t.O] = struct{}{}
+		}
+	}
+	if len(touched) == 0 {
+		return typeID, base.typeIdx
+	}
+	out := make(map[dict.ID][]dict.ID, len(base.typeIdx)+len(touched))
+	for c, subjects := range base.typeIdx {
+		out[c] = subjects
+	}
+	pos := base.idx[orderPOS]
+	for c := range touched {
+		pat := Pattern{P: typeID, O: c}
+		var subjects []dict.ID
+		lo, hi := searchRange(pos, orderPOS, pat)
+		mergeRuns(pos[lo:hi], runFor(d.del[orderPOS], orderPOS, pat), runFor(d.ins[orderPOS], orderPOS, pat), orderPOS, func(t IDTriple) {
+			if len(subjects) == 0 || subjects[len(subjects)-1] != t.S {
+				subjects = append(subjects, t.S)
+			}
+		})
+		if len(subjects) == 0 {
+			delete(out, c)
+			continue
+		}
+		out[c] = subjects
+	}
+	return typeID, out
+}
+
+// Commit folds the delta into a fresh, fully indexed immutable store over
+// the same shared dictionary: the merged SPO stream (already sorted, so
+// the base sort is skipped) goes through the standard construction path,
+// and the result carries no delta. Publish it through the same atomic
+// swap as any snapshot; readers pinned to the overlay keep reading it.
+// An empty delta returns the base.
+func (d *Delta) Commit(opts BuildOptions) *Store {
+	if d.Empty() {
+		return d.base
+	}
+	base := d.base
+	merged := make([]IDTriple, 0, base.n-d.DeleteCount()+d.InsertCount())
+	mergeRuns(base.idx[orderSPO], d.del[orderSPO], d.ins[orderSPO], orderSPO, func(t IDTriple) {
+		merged = append(merged, t)
+	})
+	return buildIndexes(base.dict, merged, opts)
+}
+
+// sortedContains reports whether a slice sorted by o contains t.
+func sortedContains(idx []IDTriple, o order, t IDTriple) bool {
+	i := sort.Search(len(idx), func(i int) bool { return !lessByOrder(idx[i], t, o) })
+	return i < len(idx) && idx[i] == t
+}
+
+// newDeltaFromSets reconstructs a Delta from raw insert and delete sets
+// (the v3 snapshot path), validating the Delta invariants: every deletion
+// must name a base triple, no insertion may duplicate one, and the two
+// sets must be disjoint. The slices must be SPO-sorted and duplicate-free
+// (the snapshot reader guarantees this by construction).
+func newDeltaFromSets(base *Store, ins, del []IDTriple) (*Delta, error) {
+	for _, t := range ins {
+		if base.baseContains(t) {
+			return nil, fmt.Errorf("store: delta insert %v duplicates a base triple", t)
+		}
+	}
+	for _, t := range del {
+		if !base.baseContains(t) {
+			return nil, fmt.Errorf("store: delta delete %v names no base triple", t)
+		}
+		if sortedContains(ins, orderSPO, t) {
+			return nil, fmt.Errorf("store: triple %v both inserted and deleted", t)
+		}
+	}
+	d := &Delta{base: base}
+	d.setSorted(ins, del)
+	return d, nil
+}

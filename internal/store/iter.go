@@ -1,70 +1,175 @@
 package store
 
-// Scan is a batch cursor over the triples matching one pattern. It walks
-// the contiguous range of the best-fitting permutation index without
-// copying: every batch is a subslice of the index, valid for the lifetime
-// of the store. Streaming executors pull batches with Next instead of
-// materializing the full match slice, so leaf-scan memory is O(batch)
-// rather than O(result).
+import "sort"
+
+// Scan is a batch cursor over the triples matching one pattern. On a
+// plain store it walks the contiguous range of the best-fitting
+// permutation index without copying: every batch is a subslice of the
+// index, valid for the lifetime of the store. On an overlay store the
+// cursor merges on read — the base run is streamed with deleted triples
+// masked and pending insertions interleaved in index order — and batches
+// are assembled in an internal buffer that is reused across Next calls
+// (consume a batch before pulling the next). Either way, streaming
+// executors pull batches with Next instead of materializing the full
+// match slice, so leaf-scan memory is O(batch) rather than O(result).
 type Scan struct {
-	rest []IDTriple
+	rest []IDTriple // base index run not yet delivered
+	del  []IDTriple // pending deletions within rest, same order
+	ins  []IDTriple // pending insertions for the range, same order
 	ord  order
+	buf  []IDTriple // merged-batch buffer, reused across Next calls
 }
 
 // Scan opens a cursor over the triples matching pat. The triples are
 // delivered in the sort order of the chosen index — the same order Match
 // returns them in, so Scan and Match are interchangeable for equal results.
 func (s *Store) Scan(pat Pattern) *Scan {
-	matches, o := s.Match(pat)
-	return &Scan{rest: matches, ord: o}
+	o := orderFor(pat.boundMask())
+	idx := s.idx[o]
+	lo, hi := searchRange(idx, o, pat)
+	sc := &Scan{rest: idx[lo:hi], ord: o}
+	if s.delta != nil {
+		sc.del = runFor(s.delta.del[o], o, pat)
+		sc.ins = runFor(s.delta.ins[o], o, pat)
+	}
+	return sc
 }
 
-// Next returns the next batch of at most max triples as a zero-copy
-// subslice of the index, or nil when the cursor is exhausted. max <= 0
-// returns everything remaining in one batch.
+// Next returns the next batch of at most max triples, or nil when the
+// cursor is exhausted. max <= 0 returns everything remaining in one
+// batch. Without pending delta changes the batch is a zero-copy subslice
+// of the index; a merging cursor returns its internal buffer, valid until
+// the next call.
 func (sc *Scan) Next(max int) []IDTriple {
-	if len(sc.rest) == 0 {
-		return nil
-	}
-	if max <= 0 || max >= len(sc.rest) {
-		out := sc.rest
-		sc.rest = nil
+	if len(sc.del) == 0 && len(sc.ins) == 0 {
+		if len(sc.rest) == 0 {
+			return nil
+		}
+		if max <= 0 || max >= len(sc.rest) {
+			out := sc.rest
+			sc.rest = nil
+			return out
+		}
+		out := sc.rest[:max:max]
+		sc.rest = sc.rest[max:]
 		return out
 	}
-	out := sc.rest[:max:max]
-	sc.rest = sc.rest[max:]
-	return out
+	n := sc.Remaining()
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	if cap(sc.buf) < n {
+		sc.buf = make([]IDTriple, 0, n)
+	}
+	buf := sc.buf[:0]
+	for len(buf) < n {
+		// Skip deleted base triples. Deletions emit nothing, so consuming
+		// them eagerly never reorders the stream.
+		if len(sc.rest) > 0 && len(sc.del) > 0 && sc.rest[0] == sc.del[0] {
+			sc.rest = sc.rest[1:]
+			sc.del = sc.del[1:]
+			continue
+		}
+		switch {
+		case len(sc.rest) == 0:
+			buf = append(buf, sc.ins[0])
+			sc.ins = sc.ins[1:]
+		case len(sc.ins) == 0 || !lessByOrder(sc.ins[0], sc.rest[0], sc.ord):
+			buf = append(buf, sc.rest[0])
+			sc.rest = sc.rest[1:]
+		default:
+			buf = append(buf, sc.ins[0])
+			sc.ins = sc.ins[1:]
+		}
+	}
+	sc.buf = buf
+	return buf
 }
 
 // Remaining returns how many triples the cursor has not yet delivered.
-func (sc *Scan) Remaining() int { return len(sc.rest) }
+// Every pending deletion masks exactly one undelivered base triple (a
+// cursor invariant), so the count is exact.
+func (sc *Scan) Remaining() int { return len(sc.rest) - len(sc.del) + len(sc.ins) }
 
 // ScanPartitions opens up to n cursors that jointly cover the triples
-// matching pat: the contiguous index range Match would return is split into
-// n contiguous morsels at triple granularity, sized within one triple of
-// each other. Concatenating the partitions' triples in slice order yields
-// exactly Scan(pat)'s stream, so a morsel-driven executor that merges
-// per-partition results in partition order reproduces the serial scan
-// bit-for-bit. Fewer than n cursors are returned when the range holds fewer
-// than n triples; an empty range returns nil. Every cursor is an
-// independent zero-copy view of the same immutable index, safe to drive
-// from concurrent goroutines.
+// matching pat: the merged stream Scan would deliver is split into n
+// contiguous morsels at triple granularity. Concatenating the partitions'
+// triples in slice order yields exactly Scan(pat)'s stream, so a
+// morsel-driven executor that merges per-partition results in partition
+// order reproduces the serial scan bit-for-bit. On a plain store the
+// morsels are equal-sized zero-copy views of the index; on an overlay the
+// split points are chosen from the larger of the base run and the insert
+// run and the other runs are aligned to them by binary search, so sizes
+// stay balanced up to the delta skew (some partitions may even be empty —
+// they deliver nothing and preserve the concatenation order). Fewer than
+// n cursors are returned when the merged range holds fewer than n
+// triples; an empty range returns nil. Every cursor is independent and
+// safe to drive from concurrent goroutines.
 func (s *Store) ScanPartitions(pat Pattern, n int) []*Scan {
-	matches, o := s.Match(pat)
-	if len(matches) == 0 {
+	o := orderFor(pat.boundMask())
+	idx := s.idx[o]
+	lo, hi := searchRange(idx, o, pat)
+	base := idx[lo:hi]
+	var del, ins []IDTriple
+	if s.delta != nil {
+		del = runFor(s.delta.del[o], o, pat)
+		ins = runFor(s.delta.ins[o], o, pat)
+	}
+	total := len(base) - len(del) + len(ins)
+	if total == 0 {
 		return nil
 	}
 	if n < 1 {
 		n = 1
 	}
-	if n > len(matches) {
-		n = len(matches)
+	if n > total {
+		n = total
+	}
+	if len(del) == 0 && len(ins) == 0 {
+		out := make([]*Scan, n)
+		for i := 0; i < n; i++ {
+			plo := i * len(base) / n
+			phi := (i + 1) * len(base) / n
+			out[i] = &Scan{rest: base[plo:phi:phi], ord: o}
+		}
+		return out
+	}
+	// Pick boundary triples from the larger run, then align every run to
+	// the boundaries with a lower-bound search. A deleted triple and its
+	// base twin compare equal, so they always land in the same partition.
+	primary, secondary := base, ins
+	if len(ins) > len(base) {
+		primary, secondary = ins, base
+	}
+	lowerBound := func(run []IDTriple, t IDTriple) int {
+		return sort.Search(len(run), func(i int) bool { return !lessByOrder(run[i], t, o) })
 	}
 	out := make([]*Scan, n)
+	pPrev, sPrev, dPrev := 0, 0, 0
 	for i := 0; i < n; i++ {
-		lo := i * len(matches) / n
-		hi := (i + 1) * len(matches) / n
-		out[i] = &Scan{rest: matches[lo:hi:hi], ord: o}
+		pNext, sNext, dNext := len(primary), len(secondary), len(del)
+		if i < n-1 {
+			pNext = (i + 1) * len(primary) / n
+			if pNext < len(primary) {
+				boundary := primary[pNext]
+				sNext = lowerBound(secondary, boundary)
+				dNext = lowerBound(del, boundary)
+			}
+		}
+		sc := &Scan{ord: o}
+		if len(ins) > len(base) {
+			sc.ins = primary[pPrev:pNext:pNext]
+			sc.rest = secondary[sPrev:sNext:sNext]
+		} else {
+			sc.rest = primary[pPrev:pNext:pNext]
+			sc.ins = secondary[sPrev:sNext:sNext]
+		}
+		sc.del = del[dPrev:dNext:dNext]
+		out[i] = sc
+		pPrev, sPrev, dPrev = pNext, sNext, dNext
 	}
 	return out
 }

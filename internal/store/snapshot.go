@@ -43,9 +43,28 @@ import (
 // is rejected, as are term IDs outside [1, nTerms]. Dictionary IDs are
 // dense and insertion-ordered, so SPO deltas are small and most records
 // fit in a few bytes, versus a fixed 12 in v1.
+// v3 (written automatically for overlay stores; readable everywhere):
+//
+//	magic   [8]byte  "RDFSNAP3"
+//	nTerms  uvarint
+//	nBase   uvarint
+//	nIns    uvarint
+//	nDel    uvarint
+//	terms   as in v2
+//	base    nBase delta records (v2 scheme), strictly increasing SPO
+//	ins     nIns  delta records, strictly increasing SPO
+//	del     nDel  delta records, strictly increasing SPO
+//
+// A v3 snapshot persists an overlay store losslessly — base triples and
+// the pending insert/delete sets stay separate, so reading one restores
+// the overlay (same base, same delta) rather than a folded store. The
+// reader re-validates the Delta invariants (inserts disjoint from the
+// base, deletes a subset of it), so a corrupt or hand-built file cannot
+// smuggle in an overlay whose counts would lie.
 const (
 	snapshotMagicV1 = "RDFSNAP1"
 	snapshotMagicV2 = "RDFSNAP2"
+	snapshotMagicV3 = "RDFSNAP3"
 
 	// maxSnapshotStr caps a single term component read from a snapshot.
 	maxSnapshotStr = 1 << 24
@@ -53,17 +72,27 @@ const (
 	// untrusted header counts: a corrupt header claiming 4G triples must
 	// not allocate 48 GB up front. Reading still fails naturally when the
 	// stream runs out; this only bounds what is allocated before that.
-	maxSnapshotPrealloc = 1 << 20
+	// Kept small enough (64Ki entries) that a rejected corrupt header
+	// costs microseconds, not tens of milliseconds of map pre-sizing —
+	// legitimate larger snapshots just grow by amortized append.
+	maxSnapshotPrealloc = 1 << 16
 )
 
-// WriteSnapshot serializes the store to w in the current (v2) format.
+// WriteSnapshot serializes the store to w: plain stores use the compact
+// v2 format, overlay stores the v3 format, which keeps the base and the
+// pending delta separate so nothing about the overlay is lost.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	if s.delta != nil && !s.delta.Empty() {
+		return s.WriteSnapshotVersion(w, 3)
+	}
 	return s.WriteSnapshotVersion(w, 2)
 }
 
 // WriteSnapshotVersion serializes the store in the requested format
-// version (1 or 2). v1 exists so older readers and size/speed comparisons
-// keep working; new snapshots should use v2.
+// version (1, 2 or 3). v1 exists so older readers and size/speed
+// comparisons keep working; v1 and v2 fold a pending delta into the
+// triple stream (data-lossless, overlay structure dropped), v3 keeps
+// base and delta separate.
 func (s *Store) WriteSnapshotVersion(w io.Writer, version int) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	switch version {
@@ -75,8 +104,12 @@ func (s *Store) WriteSnapshotVersion(w io.Writer, version int) error {
 		if err := s.writeV2(bw); err != nil {
 			return err
 		}
+	case 3:
+		if err := s.writeV3(bw); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("store: unknown snapshot version %d (want 1 or 2)", version)
+		return fmt.Errorf("store: unknown snapshot version %d (want 1, 2 or 3)", version)
 	}
 	return bw.Flush()
 }
@@ -114,16 +147,31 @@ func (s *Store) writeV1(bw *bufio.Writer) error {
 			return err
 		}
 	}
-	for _, tr := range s.idx[orderSPO] {
+	var werr error
+	s.forEachSPO(func(tr IDTriple) {
+		if werr != nil {
+			return
+		}
 		var buf [12]byte
 		binary.LittleEndian.PutUint32(buf[0:4], uint32(tr.S))
 		binary.LittleEndian.PutUint32(buf[4:8], uint32(tr.P))
 		binary.LittleEndian.PutUint32(buf[8:12], uint32(tr.O))
-		if _, err := bw.Write(buf[:]); err != nil {
-			return err
+		_, werr = bw.Write(buf[:])
+	})
+	return werr
+}
+
+// forEachSPO streams the store's triples in SPO order — the base index
+// directly for a plain store, the merged overlay stream otherwise — so
+// the v1/v2 writers fold a pending delta in instead of dropping it.
+func (s *Store) forEachSPO(fn func(IDTriple)) {
+	if s.delta == nil {
+		for _, tr := range s.idx[orderSPO] {
+			fn(tr)
 		}
+		return
 	}
-	return nil
+	mergeRuns(s.idx[orderSPO], s.delta.del[orderSPO], s.delta.ins[orderSPO], orderSPO, fn)
 }
 
 func (s *Store) writeV2(bw *bufio.Writer) error {
@@ -143,6 +191,62 @@ func (s *Store) writeV2(bw *bufio.Writer) error {
 	if err := writeUvarint(uint64(s.n)); err != nil {
 		return err
 	}
+	if err := s.writeTerms(bw, writeUvarint, nTerms); err != nil {
+		return err
+	}
+	enc := tripleEncoder{write: writeUvarint}
+	var werr error
+	s.forEachSPO(func(tr IDTriple) {
+		if werr != nil {
+			return
+		}
+		werr = enc.encode(tr)
+	})
+	return werr
+}
+
+// writeV3 serializes an overlay store (or a plain one, with empty delta
+// sections): the shared dictionary, then the base, insert and delete
+// triple streams, each delta-encoded in strictly increasing SPO order.
+func (s *Store) writeV3(bw *bufio.Writer) error {
+	if _, err := bw.WriteString(snapshotMagicV3); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(vbuf[:], x)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	var ins, del []IDTriple
+	base := s.idx[orderSPO]
+	if s.delta != nil {
+		ins = s.delta.ins[orderSPO]
+		del = s.delta.del[orderSPO]
+	}
+	nTerms := s.dict.Len()
+	for _, n := range []uint64{uint64(nTerms), uint64(len(base)), uint64(len(ins)), uint64(len(del))} {
+		if err := writeUvarint(n); err != nil {
+			return err
+		}
+	}
+	if err := s.writeTerms(bw, writeUvarint, nTerms); err != nil {
+		return err
+	}
+	for _, stream := range [][]IDTriple{base, ins, del} {
+		enc := tripleEncoder{write: writeUvarint}
+		for _, tr := range stream {
+			if err := enc.encode(tr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeTerms writes the shared dictionary section in the v2/v3 encoding:
+// one kind byte plus three uvarint-length-prefixed strings per term.
+func (s *Store) writeTerms(bw *bufio.Writer, writeUvarint func(uint64) error, nTerms int) error {
 	writeStr := func(x string) error {
 		if err := writeUvarint(uint64(len(x))); err != nil {
 			return err
@@ -165,41 +269,31 @@ func (s *Store) writeV2(bw *bufio.Writer) error {
 			return err
 		}
 	}
-	var prev IDTriple
-	for _, tr := range s.idx[orderSPO] {
-		switch {
-		case tr.S != prev.S:
-			if err := writeUvarint(uint64(tr.S - prev.S)); err != nil {
-				return err
-			}
-			if err := writeUvarint(uint64(tr.P)); err != nil {
-				return err
-			}
-			if err := writeUvarint(uint64(tr.O)); err != nil {
-				return err
-			}
-		case tr.P != prev.P:
-			if err := writeUvarint(0); err != nil {
-				return err
-			}
-			if err := writeUvarint(uint64(tr.P - prev.P)); err != nil {
-				return err
-			}
-			if err := writeUvarint(uint64(tr.O)); err != nil {
-				return err
-			}
-		default:
-			if err := writeUvarint(0); err != nil {
-				return err
-			}
-			if err := writeUvarint(0); err != nil {
-				return err
-			}
-			if err := writeUvarint(uint64(tr.O - prev.O)); err != nil {
-				return err
-			}
+	return nil
+}
+
+// tripleEncoder emits the v2/v3 delta-encoded triple records: each triple
+// against its predecessor, starting from the zero triple.
+type tripleEncoder struct {
+	write func(uint64) error
+	prev  IDTriple
+}
+
+func (e *tripleEncoder) encode(tr IDTriple) error {
+	var fields [3]uint64
+	switch {
+	case tr.S != e.prev.S:
+		fields = [3]uint64{uint64(tr.S - e.prev.S), uint64(tr.P), uint64(tr.O)}
+	case tr.P != e.prev.P:
+		fields = [3]uint64{0, uint64(tr.P - e.prev.P), uint64(tr.O)}
+	default:
+		fields = [3]uint64{0, 0, uint64(tr.O - e.prev.O)}
+	}
+	e.prev = tr
+	for _, f := range fields {
+		if err := e.write(f); err != nil {
+			return err
 		}
-		prev = tr
 	}
 	return nil
 }
@@ -213,6 +307,9 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 }
 
 // ReadSnapshotOpts is ReadSnapshot with explicit construction options.
+// A v3 snapshot restores the overlay it was written from: the base store
+// is rebuilt through the standard construction path and the insert/delete
+// sets are re-attached as a validated Delta.
 func ReadSnapshotOpts(r io.Reader, opts BuildOptions) (*Store, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(snapshotMagicV1))
@@ -227,6 +324,8 @@ func ReadSnapshotOpts(r io.Reader, opts BuildOptions) (*Store, error) {
 		d, triples, err = readV1(br)
 	case snapshotMagicV2:
 		d, triples, err = readV2(br)
+	case snapshotMagicV3:
+		return readV3(br, opts)
 	default:
 		return nil, fmt.Errorf("store: bad snapshot magic %q", magic)
 	}
@@ -343,61 +442,122 @@ func readV2(br *bufio.Reader) (*dict.Dict, []IDTriple, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	triples := make([]IDTriple, 0, int(min(nTriples, maxSnapshotPrealloc)))
+	triples, err := readTripleStream(readUvarint, nTriples, nTerms, "triple")
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, triples, nil
+}
+
+// readV3 reads an overlay snapshot: dictionary, base stream, insert
+// stream and delete stream, rebuilding the base store and re-attaching
+// the delta (with its invariants re-validated).
+func readV3(br *bufio.Reader, opts BuildOptions) (*Store, error) {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	var counts [4]uint64
+	names := [4]string{"term", "base triple", "insert", "delete"}
+	for i := range counts {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading snapshot %s count: %w", names[i], err)
+		}
+		if n > math.MaxUint32 {
+			return nil, fmt.Errorf("store: snapshot %s count %d exceeds 32-bit id space", names[i], n)
+		}
+		counts[i] = n
+	}
+	nTerms := counts[0]
+	readStr := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		return readStrBody(br, n)
+	}
+	d, err := readTerms(br, nTerms, readStr)
+	if err != nil {
+		return nil, err
+	}
+	base, err := readTripleStream(readUvarint, counts[1], nTerms, "base triple")
+	if err != nil {
+		return nil, err
+	}
+	ins, err := readTripleStream(readUvarint, counts[2], nTerms, "insert")
+	if err != nil {
+		return nil, err
+	}
+	del, err := readTripleStream(readUvarint, counts[3], nTerms, "delete")
+	if err != nil {
+		return nil, err
+	}
+	st := buildIndexes(d, base, opts)
+	delta, err := newDeltaFromSets(st, ins, del)
+	if err != nil {
+		return nil, err
+	}
+	return delta.Overlay(), nil
+}
+
+// readTripleStream decodes one delta-encoded triple stream (the v2/v3
+// record format): n records in strictly increasing SPO order, every term
+// id within [1, nTerms]. A zero delta (a duplicate or out-of-order
+// record) is rejected.
+func readTripleStream(readUvarint func() (uint64, error), n, nTerms uint64, what string) ([]IDTriple, error) {
+	triples := make([]IDTriple, 0, int(min(n, maxSnapshotPrealloc)))
 	var s, p, o uint64
-	for i := uint64(0); i < nTriples; i++ {
-		read := func(what string) (uint64, error) {
+	for i := uint64(0); i < n; i++ {
+		read := func(field string) (uint64, error) {
 			v, err := readUvarint()
 			if err != nil {
-				return 0, fmt.Errorf("store: reading triple %d %s: %w", i, what, err)
+				return 0, fmt.Errorf("store: reading %s %d %s: %w", what, i, field, err)
 			}
 			// No valid id or delta exceeds the 32-bit id space; rejecting
 			// larger values here also keeps the running sums below from
 			// wrapping uint64.
 			if v > math.MaxUint32 {
-				return 0, fmt.Errorf("store: triple %d %s %d exceeds 32-bit id space", i, what, v)
+				return 0, fmt.Errorf("store: %s %d %s %d exceeds 32-bit id space", what, i, field, v)
 			}
 			return v, nil
 		}
 		dS, err := read("subject delta")
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if dS != 0 {
 			s += dS
 			if p, err = read("predicate"); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			if o, err = read("object"); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		} else {
 			dP, err := read("predicate delta")
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			if dP != 0 {
 				p += dP
 				if o, err = read("object"); err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 			} else {
 				dO, err := read("object delta")
 				if err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 				if dO == 0 {
-					return nil, nil, fmt.Errorf("store: snapshot triple %d duplicates its predecessor", i)
+					return nil, fmt.Errorf("store: snapshot %s %d duplicates its predecessor", what, i)
 				}
 				o += dO
 			}
 		}
 		if s == 0 || s > nTerms || p == 0 || p > nTerms || o == 0 || o > nTerms {
-			return nil, nil, fmt.Errorf("store: triple %d references term ids (%d %d %d) outside [1, %d]", i, s, p, o, nTerms)
+			return nil, fmt.Errorf("store: %s %d references term ids (%d %d %d) outside [1, %d]", what, i, s, p, o, nTerms)
 		}
 		triples = append(triples, IDTriple{S: dict.ID(s), P: dict.ID(p), O: dict.ID(o)})
 	}
-	return d, triples, nil
+	return triples, nil
 }
 
 func readStrBody(br *bufio.Reader, n uint64) (string, error) {

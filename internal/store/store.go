@@ -1,10 +1,17 @@
 // Package store implements an in-memory, dictionary-encoded RDF triple
 // store with all six subject/predicate/object permutation indexes (the
-// Hexastore / RDF-3X layout). After bulk load the store is immutable; every
+// Hexastore / RDF-3X layout). Every store value is immutable; every
 // triple pattern with any combination of bound positions is answered by a
 // binary-searched contiguous range of exactly one index, which also gives
 // exact pattern cardinalities in O(log n). Exact counts are what the Cout
 // cost model and the optimizer's cardinality estimator are built on.
+//
+// Updates never mutate a store: a Delta (sorted insert/delete sets over a
+// base store, see delta.go) publishes either as an overlay snapshot whose
+// reads merge the delta in on the fly — with counts still exact — or as a
+// freshly indexed store (Commit). MVCC falls out of immutability: writers
+// build the next snapshot and swap a pointer, readers keep the one they
+// pinned.
 package store
 
 import (
@@ -53,7 +60,10 @@ func (p Pattern) boundMask() int {
 	return m
 }
 
-// Store is an immutable triple store. Build one with a Builder.
+// Store is an immutable triple store. Build one with a Builder. An
+// overlay store (see Delta.Overlay) additionally carries a delta whose
+// insertions and deletions every read path merges in on the fly; a plain
+// store's delta is nil and its reads stay zero-copy.
 type Store struct {
 	dict    *dict.Dict
 	n       int
@@ -61,6 +71,7 @@ type Store struct {
 	pstats  map[dict.ID]PredStats
 	typeIdx map[dict.ID][]dict.ID // rdf:type class -> sorted subject IDs
 	typeID  dict.ID               // ID of rdf:type, or None if absent
+	delta   *Delta                // non-nil for overlay snapshots
 }
 
 // PredStats holds exact per-predicate statistics used by the cardinality
@@ -153,7 +164,11 @@ func (b *Builder) BuildOpts(opts BuildOptions) *Store {
 // re-deriving every index and statistic from a copy of the base index. It
 // exists so benchmarks and equivalence tests can exercise the
 // construction path in isolation from parsing and dictionary encoding.
+// Rebuilding an overlay store folds its delta in (equivalent to Commit).
 func (s *Store) Rebuild(opts BuildOptions) *Store {
+	if s.delta != nil {
+		return s.delta.Commit(opts)
+	}
 	cp := make([]IDTriple, len(s.idx[orderSPO]))
 	copy(cp, s.idx[orderSPO])
 	return buildIndexes(s.dict, cp, opts)
@@ -165,23 +180,42 @@ func (s *Store) Dict() *dict.Dict { return s.dict }
 // Len returns the number of triples.
 func (s *Store) Len() int { return s.n }
 
-// Match returns the triples matching pat as a zero-copy subslice of the
-// best-fitting permutation index. The result's sort order is that of the
-// returned order value (useful for merge joins); callers that only need the
-// set of matches can ignore it.
+// Match returns the triples matching pat in the sort order of the
+// best-fitting permutation index. On a plain store the result is a
+// zero-copy subslice of that index; an overlay store with pending changes
+// in the range materializes the merged run (base minus deletions, with
+// insertions interleaved in index order) into a fresh slice. The returned
+// order value is the index's sort order (useful for merge joins); callers
+// that only need the set of matches can ignore it.
 func (s *Store) Match(pat Pattern) ([]IDTriple, order) {
 	o := orderFor(pat.boundMask())
 	idx := s.idx[o]
 	lo, hi := searchRange(idx, o, pat)
-	return idx[lo:hi], o
+	if s.delta == nil {
+		return idx[lo:hi], o
+	}
+	del := runFor(s.delta.del[o], o, pat)
+	ins := runFor(s.delta.ins[o], o, pat)
+	if len(del) == 0 && len(ins) == 0 {
+		return idx[lo:hi], o
+	}
+	out := make([]IDTriple, 0, hi-lo-len(del)+len(ins))
+	mergeRuns(idx[lo:hi], del, ins, o, func(t IDTriple) { out = append(out, t) })
+	return out, o
 }
 
-// Count returns the exact number of triples matching pat in O(log n).
+// Count returns the exact number of triples matching pat in O(log n) —
+// on an overlay, the base range size minus deletions plus insertions in
+// the range, each located by its own binary search.
 func (s *Store) Count(pat Pattern) int {
 	o := orderFor(pat.boundMask())
 	idx := s.idx[o]
 	lo, hi := searchRange(idx, o, pat)
-	return hi - lo
+	n := hi - lo
+	if s.delta != nil {
+		n += len(runFor(s.delta.ins[o], o, pat)) - len(runFor(s.delta.del[o], o, pat))
+	}
+	return n
 }
 
 // PredicateStats returns exact statistics for predicate p. The zero value
