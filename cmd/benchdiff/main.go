@@ -1,0 +1,75 @@
+// Command benchdiff compares two bench artifacts produced by the CI bench
+// job (`go test -bench ... -json | tee bench.json`, i.e. test2json stream
+// with the textual benchmark lines inside "output" events) and prints
+// per-benchmark deltas, so the perf trajectory tracked by the committed
+// BENCH_<n>.json files is readable at a glance:
+//
+//	benchdiff BENCH_5.json BENCH_6.json
+//	benchdiff -metric work BENCH_5.json BENCH_6.json
+//
+// Benchmarks present in only one artifact are listed as added/removed
+// rather than failing the run, so the tool degrades gracefully when a
+// previous PR's artifact does not exist yet (pass "-" as the old file to
+// diff against nothing).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	code, err := run(os.Stdout, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(w *os.File, args []string) (int, error) {
+	metric := "ns/op"
+	for len(args) > 0 && args[0] == "-metric" {
+		if len(args) < 2 {
+			return 0, fmt.Errorf("-metric needs a value")
+		}
+		metric = args[1]
+		args = args[2:]
+	}
+	if len(args) != 2 {
+		return 0, fmt.Errorf("usage: benchdiff [-metric name] OLD.json NEW.json (OLD may be \"-\" for none)")
+	}
+	oldPath, newPath := args[0], args[1]
+	old := benchfmt.Set{}
+	if oldPath != "-" {
+		data, err := os.ReadFile(oldPath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(w, "benchdiff: baseline %s missing; showing %s only\n", oldPath, newPath)
+			} else {
+				return 0, err
+			}
+		} else {
+			old, err = benchfmt.Parse(data)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %v", oldPath, err)
+			}
+		}
+	}
+	data, err := os.ReadFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := benchfmt.Parse(data)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", newPath, err)
+	}
+	report := benchfmt.Diff(old, cur, metric)
+	if report == "" {
+		return 0, fmt.Errorf("no benchmark results in %s", newPath)
+	}
+	fmt.Fprint(w, report)
+	return 0, nil
+}

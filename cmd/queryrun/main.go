@@ -48,6 +48,8 @@ type config struct {
 	greedy      bool
 	sampling    bool
 	materialize bool
+	engine      string
+	leapfrog    bool
 	mergeJoin   bool
 	pushFilters bool
 	parallelism int
@@ -68,6 +70,8 @@ func main() {
 	flag.BoolVar(&cfg.greedy, "greedy", false, "use the greedy optimizer")
 	flag.BoolVar(&cfg.sampling, "sampling", false, "use the sampling cardinality estimator")
 	flag.BoolVar(&cfg.materialize, "materialize", false, "use the materializing engine instead of the streaming one")
+	flag.StringVar(&cfg.engine, "engine", "", "execution engine: streaming (default), materializing or columnar")
+	flag.BoolVar(&cfg.leapfrog, "leapfrog", false, "lower eligible star BGPs to the worst-case-optimal leapfrog triejoin (requires -engine columnar)")
 	flag.BoolVar(&cfg.mergeJoin, "mergejoin", false, "use sort-merge joins for interior joins")
 	flag.BoolVar(&cfg.pushFilters, "pushfilters", false, "push single-variable filters below the joins (streaming engine)")
 	flag.IntVar(&cfg.parallelism, "parallelism", 1, "intra-query workers for morsel-driven parallel pipelines (1 = serial; results are bit-identical at any setting)")
@@ -146,14 +150,29 @@ func run(w io.Writer, cfg config) error {
 	if cfg.materialize {
 		opts.Mode = exec.Materializing
 	}
+	switch cfg.engine {
+	case "":
+	case "streaming":
+		opts.Mode = exec.Streaming
+	case "materializing":
+		opts.Mode = exec.Materializing
+	case "columnar":
+		opts.Mode = exec.Columnar
+	default:
+		return fmt.Errorf("unknown -engine %q (want streaming, materializing or columnar)", cfg.engine)
+	}
+	if cfg.leapfrog && opts.Mode != exec.Columnar {
+		return fmt.Errorf("-leapfrog requires -engine columnar")
+	}
+	opts.Leapfrog = cfg.leapfrog
 	if cfg.mergeJoin {
 		opts.Join = exec.SortMergeJoin
 	}
 	if explain {
 		fmt.Fprintf(w, "%s\n", p)
-		// The physical tree is only printed for the engine that executes
+		// The physical tree is only printed for the engines that execute
 		// it; the materializing engine evaluates the logical tree directly.
-		if opts.Mode == exec.Streaming {
+		if opts.Mode != exec.Materializing {
 			phys, err := plan.Lower(c, p, exec.PhysOptions(opts))
 			if err != nil {
 				return err
@@ -169,6 +188,13 @@ func run(w io.Writer, cfg config) error {
 		len(res.Rows), res.Duration, res.Cout, res.Work, res.Scanned)
 	if res.Morsels > 0 {
 		fmt.Fprintf(w, "parallel: %d morsels on up to %d workers\n", res.Morsels, res.Workers)
+	}
+	if k := res.Kernels; k.Batches > 0 {
+		fmt.Fprintf(w, "columnar: %d batches (filter %d, hash-probe %d, merge %d, gather %d rows)\n",
+			k.Batches, k.FilterRows, k.HashProbeRows, k.MergeRows, k.GatherRows)
+		if k.LeapfrogRows > 0 || k.LeapfrogSeeks > 0 {
+			fmt.Fprintf(w, "leapfrog: %d rows, %d trie seeks\n", k.LeapfrogRows, k.LeapfrogSeeks)
+		}
 	}
 	// Header.
 	cols := make([]string, len(res.Vars))

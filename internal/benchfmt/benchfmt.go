@@ -1,0 +1,150 @@
+// Package benchfmt parses Go benchmark results out of the CI bench
+// artifact — a test2json stream whose "output" events carry the textual
+// `BenchmarkName  N  value unit [value unit ...]` lines — and formats
+// per-benchmark deltas between two artifacts. Plain `go test -bench`
+// text output is accepted too, so locally produced files diff the same
+// way as CI artifacts.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements: iteration count plus every
+// reported metric (ns/op, B/op and any b.ReportMetric custom unit).
+type Result struct {
+	Name    string
+	Iters   int
+	Metrics map[string]float64
+}
+
+// Set maps benchmark name (GOMAXPROCS suffix stripped) to its result;
+// repeated runs of one benchmark keep the last measurement.
+type Set map[string]Result
+
+// event is the subset of the test2json record shape we need.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// Parse extracts benchmark results from data, which may be a test2json
+// stream, raw `go test -bench` output, or a mix. test2json splits one
+// benchmark result across several "output" events (the name fragment has
+// no trailing newline), so the stream's output text is reassembled before
+// being split into lines.
+func Parse(data []byte) (Set, error) {
+	var text strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimRight(line, "\r")
+		if strings.HasPrefix(strings.TrimSpace(trimmed), "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(trimmed), &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.WriteString(trimmed)
+		text.WriteString("\n")
+	}
+	set := Set{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		if r, ok := parseLine(line); ok {
+			set[r.Name] = r
+		}
+	}
+	return set, nil
+}
+
+// parseLine parses one `BenchmarkName  N  value unit ...` line. Lines
+// that are not benchmark results (PASS, goos:, --- FAIL, …) return ok
+// false.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so artifacts from boxes with different
+	// core counts still line up.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// Diff renders a per-benchmark old→new table for the chosen metric.
+// Benchmarks present on only one side are reported as added/removed; an
+// empty old set degrades to a plain listing of the new results. Returns
+// "" when cur has no results at all.
+func Diff(old, cur Set, metric string) string {
+	if len(cur) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(cur)+len(old))
+	for n := range cur {
+		names = append(names, n)
+	}
+	for n := range old {
+		if _, ok := cur[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %14s %14s %9s\n", "benchmark ("+metric+")", "old", "new", "delta")
+	for _, n := range names {
+		o, hasOld := old[n]
+		c, hasCur := cur[n]
+		switch {
+		case !hasCur:
+			fmt.Fprintf(&b, "%-34s %14s %14s %9s\n", n, format(o.Metrics[metric]), "-", "removed")
+		case !hasOld:
+			fmt.Fprintf(&b, "%-34s %14s %14s %9s\n", n, "-", format(c.Metrics[metric]), "added")
+		default:
+			ov, oOK := o.Metrics[metric]
+			cv, cOK := c.Metrics[metric]
+			if !oOK || !cOK {
+				fmt.Fprintf(&b, "%-34s %14s %14s %9s\n", n, "-", "-", "n/a")
+				continue
+			}
+			delta := "0.0%"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (cv-ov)/ov*100)
+			}
+			fmt.Fprintf(&b, "%-34s %14s %14s %9s\n", n, format(ov), format(cv), delta)
+		}
+	}
+	return b.String()
+}
+
+// format prints a metric value compactly (integers without a mantissa).
+func format(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

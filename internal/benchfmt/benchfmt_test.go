@@ -1,0 +1,80 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const rawOut = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkExecParallel1-8 	       3	   400000 ns/op	       120.0 rows	      9000 work
+BenchmarkExecParallel8-8 	       3	   100000 ns/op	       120.0 rows	      9000 work
+PASS
+`
+
+const jsonOut = `{"Time":"2026-01-01T00:00:00Z","Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"BenchmarkExecParallel1-8 \t       2\t   350000 ns/op\t       120.0 rows\t      9000 work\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkLeapfrogStar5-8 \t"}
+{"Action":"output","Package":"repro","Output":"       1\t   150000 ns/op\t        40.00 cout-leapfrog\t      7360 cout-binary\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t2.1s\n"}
+{"Action":"pass","Package":"repro"}
+`
+
+// TestParseRawAndJSON: both the plain -bench text and the test2json
+// stream yield the same structured results, with the -GOMAXPROCS suffix
+// stripped from names.
+func TestParseRawAndJSON(t *testing.T) {
+	raw, err := Parse([]byte(rawOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 2 {
+		t.Fatalf("raw results = %d, want 2: %v", len(raw), raw)
+	}
+	r, ok := raw["BenchmarkExecParallel1"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %v", raw)
+	}
+	if r.Iters != 3 || r.Metrics["ns/op"] != 400000 || r.Metrics["work"] != 9000 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+
+	js, err := Parse([]byte(jsonOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != 2 {
+		t.Fatalf("json results = %d, want 2: %v", len(js), js)
+	}
+	if js["BenchmarkLeapfrogStar5"].Metrics["cout-binary"] != 7360 {
+		t.Fatalf("custom metric lost: %+v", js["BenchmarkLeapfrogStar5"])
+	}
+}
+
+// TestDiff: deltas, added and removed benchmarks all render; an empty
+// baseline degrades to a listing instead of an error.
+func TestDiff(t *testing.T) {
+	old, _ := Parse([]byte(rawOut))
+	cur, _ := Parse([]byte(jsonOut))
+	out := Diff(old, cur, "ns/op")
+	for _, want := range []string{
+		"BenchmarkExecParallel1", "-12.5%", // 400000 -> 350000
+		"BenchmarkExecParallel8", "removed",
+		"BenchmarkLeapfrogStar5", "added",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if got := Diff(Set{}, cur, "ns/op"); !strings.Contains(got, "added") {
+		t.Fatalf("empty baseline should list everything as added:\n%s", got)
+	}
+	if Diff(old, Set{}, "ns/op") != "" {
+		t.Fatal("empty current set should render nothing")
+	}
+	// Custom metrics diff too.
+	if out := Diff(cur, cur, "cout-binary"); !strings.Contains(out, "7360") {
+		t.Fatalf("custom-metric diff missing value:\n%s", out)
+	}
+}

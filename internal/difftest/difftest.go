@@ -22,6 +22,8 @@ package difftest
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/dict"
@@ -288,16 +290,173 @@ type EngineRun struct {
 }
 
 // EngineMatrix is the cross-checked engine configurations: the
-// materializing reference, the serial streaming engine, and streaming at
+// materializing reference, the serial streaming engine, streaming at
 // Parallelism 2 and 8 with a tiny morsel size so test-scale stores
-// genuinely split (including single-triple morsels).
+// genuinely split (including single-triple morsels), and the columnar
+// engine serial and parallel. Setting ENGINE_MODE to one of the engine
+// names promotes it to the front of the matrix, making it the reference
+// the others are diffed against — CI rotates it across the serial modes.
 func EngineMatrix() []EngineRun {
-	return []EngineRun{
+	m := []EngineRun{
 		{Name: "materializing", Opts: exec.Options{Mode: exec.Materializing}},
 		{Name: "streaming", Opts: exec.Options{}},
 		{Name: "streaming-p2-m1", Opts: exec.Options{Parallelism: 2, MorselSize: 1}},
 		{Name: "streaming-p8-m16", Opts: exec.Options{Parallelism: 8, MorselSize: 16}},
+		{Name: "columnar", Opts: exec.Options{Mode: exec.Columnar}},
+		{Name: "columnar-p2-m1", Opts: exec.Options{Mode: exec.Columnar, Parallelism: 2, MorselSize: 1}},
+		{Name: "columnar-p8-m16", Opts: exec.Options{Mode: exec.Columnar, Parallelism: 8, MorselSize: 16}},
 	}
+	if mode := os.Getenv("ENGINE_MODE"); mode != "" {
+		for i := range m {
+			if m[i].Name == mode {
+				m[0], m[i] = m[i], m[0]
+				break
+			}
+		}
+	}
+	return m
+}
+
+// LeapfrogMatrix is the leapfrog triejoin configurations. Leapfrog emits
+// rows in trie order (not the binary plan's order) and accounts the
+// multiway join as one node, so these runs are compared byte-identically
+// only against each other; against the binary-plan reference they must
+// agree on the sorted row multiset.
+func LeapfrogMatrix() []EngineRun {
+	return []EngineRun{
+		{Name: "leapfrog", Opts: exec.Options{Mode: exec.Columnar, Leapfrog: true}},
+		{Name: "leapfrog-p2-m1", Opts: exec.Options{Mode: exec.Columnar, Leapfrog: true, Parallelism: 2, MorselSize: 1}},
+		{Name: "leapfrog-p8-m16", Opts: exec.Options{Mode: exec.Columnar, Leapfrog: true, Parallelism: 8, MorselSize: 16}},
+	}
+}
+
+// GenStarQuery produces one random star-shaped BGP: 4–6 triple patterns
+// all sharing the hub variable ?h, each with a distinct leaf variable or
+// constant at the other end — the shape the leapfrog triejoin lowers to a
+// single multiway node. Filters, DISTINCT, ORDER BY and projection are
+// generated as usual, but never LIMIT/OFFSET: those select a prefix of an
+// engine-dependent row order, which would break the multiset comparison
+// against the trie-ordered leapfrog result.
+func (sc *Scenario) GenStarQuery(rng *rand.Rand) (*sparql.Query, error) {
+	leafVars := []sparql.Var{"a", "b", "c", "d", "e", "f"}
+	nPat := 4 + rng.Intn(3)
+	q := &sparql.Query{}
+	used := []sparql.Var{"h"}
+	for i := 0; i < nPat; i++ {
+		var tp sparql.TriplePattern
+		hubAtSubject := rng.Intn(4) > 0
+		// Each pattern may spend its fresh variable on the predicate (10%)
+		// or the non-hub end (70%), never both: patterns stay free of
+		// repeated variables.
+		predVar := rng.Intn(10) == 0
+		if predVar {
+			tp.P = sparql.VarNode(leafVars[i])
+			used = append(used, leafVars[i])
+		} else {
+			tp.P = sparql.TermNode(sc.vocabP[rng.Intn(len(sc.vocabP))])
+		}
+		var leaf sparql.Node
+		switch {
+		case !predVar && rng.Intn(10) < 7:
+			leaf = sparql.VarNode(leafVars[i])
+			used = append(used, leafVars[i])
+		case hubAtSubject:
+			leaf = sparql.TermNode(sc.vocabO[rng.Intn(len(sc.vocabO))])
+		default:
+			leaf = sparql.TermNode(sc.vocabS[rng.Intn(len(sc.vocabS))])
+		}
+		if hubAtSubject {
+			tp.S, tp.O = sparql.VarNode("h"), leaf
+		} else {
+			tp.S, tp.O = leaf, sparql.VarNode("h")
+		}
+		q.Where = append(q.Where, tp)
+	}
+	for i := 0; i < rng.Intn(2); i++ {
+		f := sparql.Filter{
+			Left: sparql.VarNode(used[rng.Intn(len(used))]),
+			Op:   sparql.CompareOp(rng.Intn(6)),
+		}
+		if rng.Intn(2) == 0 {
+			f.Right = sparql.TermNode(rdf.NewTypedLiteral(fmt.Sprintf("%d", rng.Intn(100)), rdf.XSDInteger))
+		} else {
+			f.Right = sparql.VarNode(used[rng.Intn(len(used))])
+		}
+		q.Filters = append(q.Filters, f)
+	}
+	if rng.Intn(3) == 0 {
+		q.Distinct = true
+	}
+	if rng.Intn(2) == 0 {
+		q.OrderBy = append(q.OrderBy, sparql.OrderKey{Var: used[rng.Intn(len(used))], Desc: rng.Intn(2) == 0})
+	}
+	if rng.Intn(3) == 0 {
+		q.Select = used[:1+rng.Intn(len(used))]
+	}
+	parsed, err := sparql.Parse(q.String())
+	if err != nil {
+		return nil, fmt.Errorf("generated star query does not re-parse: %w\n%s", err, q.String())
+	}
+	return parsed, nil
+}
+
+// CanonicalRows renders only the decoded result rows, sorted — the
+// order-insensitive multiset fingerprint used to compare trie-ordered
+// leapfrog output against the binary-plan reference.
+func CanonicalRows(d *dict.Dict, res *exec.Result) string {
+	lines := make([]string, 0, len(res.Rows))
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.Reset()
+		for j, id := range row {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(d.Decode(id).String())
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("vars=%v rows=%d\n%s\n", res.Vars, len(res.Rows), strings.Join(lines, "\n"))
+}
+
+// RunStarQuery executes a star query through the strict engine matrix
+// (all byte-identical) and the leapfrog matrix (byte-identical to each
+// other at Parallelism 1, 2 and 8; sorted-row-multiset identical to the
+// strict reference). It returns the strict canonical result.
+func RunStarQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
+	ref, err := RunQuery(q, st, label)
+	if err != nil {
+		return "", err
+	}
+	var refRows string
+	var lfRef, lfRefName string
+	for _, er := range LeapfrogMatrix() {
+		res, _, err := exec.Query(q, st, er.Opts)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", label, er.Name, err)
+		}
+		got := Canonical(st.Dict(), res)
+		if lfRef == "" {
+			lfRef, lfRefName = got, er.Name
+			refRows = CanonicalRows(st.Dict(), res)
+			continue
+		}
+		if got != lfRef {
+			return "", fmt.Errorf("%s: engine %s diverges from %s\n--- %s\n%s\n--- %s\n%s",
+				label, er.Name, lfRefName, lfRefName, lfRef, er.Name, got)
+		}
+	}
+	// Multiset check against the strict matrix's serial streaming cell.
+	sres, _, err := exec.Query(q, st, exec.Options{})
+	if err != nil {
+		return "", fmt.Errorf("%s/streaming: %w", label, err)
+	}
+	if want := CanonicalRows(st.Dict(), sres); refRows != want {
+		return "", fmt.Errorf("%s: leapfrog row multiset diverges from streaming\n--- streaming\n%s\n--- leapfrog\n%s",
+			label, want, refRows)
+	}
+	return ref, nil
 }
 
 // RunQuery executes q over st with every engine configuration and checks

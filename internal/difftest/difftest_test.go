@@ -93,6 +93,45 @@ func TestDifferentialEngines(t *testing.T) {
 	}
 }
 
+// TestDifferentialStarBGP cross-checks star-shaped BGPs — the shape the
+// leapfrog triejoin lowers to a single multiway node — across the strict
+// engine matrix (byte-identical) and the leapfrog matrix (byte-identical
+// to each other at Parallelism 1, 2 and 8, multiset-identical to the
+// binary-plan reference), over the pristine store, the delta overlay and
+// the rebuilt reference store.
+func TestDifferentialStarBGP(t *testing.T) {
+	const queriesPerScenario = 15
+	for _, seed := range seedsUnderTest(t) {
+		sc, err := GenScenario(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		qrng := rand.New(rand.NewSource(sc.Seed * 6133))
+		for qi := 0; qi < queriesPerScenario; qi++ {
+			q, err := sc.GenStarQuery(qrng)
+			if err != nil {
+				reportFailure(t, sc, "", err)
+			}
+			text := q.String()
+			if _, err := RunStarQuery(q, sc.Base, "pristine"); err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			ovl, err := RunStarQuery(q, sc.Overlay, "overlay")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			reb, err := RunStarQuery(q, sc.Rebuilt, "rebuilt")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			if ovl != reb {
+				reportFailure(t, sc, text, fmt.Errorf(
+					"overlay result diverges from rebuilt store\n--- overlay\n%s\n--- rebuilt\n%s", ovl, reb))
+			}
+		}
+	}
+}
+
 // checkStoreEquivalence asserts the overlay's whole statistics surface
 // matches the rebuilt reference exactly — the property that makes the
 // optimizer's plan choice (and therefore row order) identical over both.

@@ -50,6 +50,13 @@ const (
 	// Materializing computes every join's complete output before moving
 	// on — the original engine, kept as the golden reference.
 	Materializing
+	// Columnar executes the same lowered physical plan as Streaming, but
+	// moves data through dense per-variable column batches with optional
+	// selection vectors instead of row slices. Every per-tuple accounting
+	// rule is identical to the streaming operators', so Rows, row order,
+	// Cout, Work and Scanned are bit-identical to Streaming at every
+	// Parallelism. Columnar additionally unlocks Options.Leapfrog.
+	Columnar
 )
 
 // Options configures execution.
@@ -90,6 +97,14 @@ type Options struct {
 	// Smaller morsels improve load balancing and let small inputs exercise
 	// the parallel path; the choice never affects results or accounting.
 	MorselSize int
+	// Leapfrog enables the worst-case-optimal leapfrog triejoin for
+	// eligible star/cyclic BGPs (see plan.PhysOptions.Leapfrog). Only
+	// consulted in Columnar mode — the row engines keep their binary join
+	// trees. A leapfrog run emits rows in global trie order and counts only
+	// the multiway join's final output toward Cout, so its results equal
+	// the binary plans' as multisets (asserted by the differential suite)
+	// but are excluded from the bit-identical golden matrix.
+	Leapfrog bool
 	// Pool, when set, is the shared CPU budget the executor draws extra
 	// workers from: each worker beyond the query's own goroutine requires
 	// one TryAcquire'd token, released when the pipeline finishes. A query
@@ -118,6 +133,33 @@ type Result struct {
 	// describes the schedule; the service aggregates it into per-query
 	// worker-utilization stats.
 	Workers int
+	// Kernels counts columnar/leapfrog kernel activity. Like Morsels and
+	// Workers it describes how the engine ran, not what it computed, and is
+	// excluded from the bit-identical golden comparison (the row engines
+	// report all zeros; LeapfrogSeeks additionally depends on partitioning).
+	Kernels KernelStats
+}
+
+// KernelStats counts the work done by the columnar and leapfrog kernels.
+type KernelStats struct {
+	Batches       int // column batches emitted by columnar operators
+	FilterRows    int // rows evaluated by the columnar filter kernel
+	HashProbeRows int // rows probed by the columnar hash-join kernel
+	MergeRows     int // rows emitted by the columnar merge-join kernel
+	GatherRows    int // rows compacted/gathered through selection vectors
+	LeapfrogSeeks int // trie-cursor seeks issued by leapfrog searches
+	LeapfrogRows  int // rows emitted by the leapfrog multiway join
+}
+
+// add accumulates other into s (used by the morsel-order counter merge).
+func (s *KernelStats) add(o KernelStats) {
+	s.Batches += o.Batches
+	s.FilterRows += o.FilterRows
+	s.HashProbeRows += o.HashProbeRows
+	s.MergeRows += o.MergeRows
+	s.GatherRows += o.GatherRows
+	s.LeapfrogSeeks += o.LeapfrogSeeks
+	s.LeapfrogRows += o.LeapfrogRows
 }
 
 // relation is an intermediate table: a schema plus rows.
@@ -145,6 +187,10 @@ type executor struct {
 	scan    int
 	morsels int // morsels executed by parallel operators
 	workers int // max workers any parallel operator ran with
+	kern    KernelStats
+	// probeScratch backs the overlay merge path of index-nested-loop
+	// probes (MatchBuf) so per-row probing stays allocation-free.
+	probeScratch []store.IDTriple
 }
 
 // cancelled returns the context's error once the run's context is done.
@@ -185,9 +231,12 @@ func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store
 	ex := &executor{st: st, ctx: ctx, opts: opts}
 	var rel *relation
 	var err error
-	if opts.Mode == Materializing {
+	switch opts.Mode {
+	case Materializing:
 		rel, err = ex.runMaterializing(c, p)
-	} else {
+	case Columnar:
+		rel, err = ex.runColumnar(c, p)
+	default:
 		rel, err = ex.runStreaming(c, p)
 	}
 	if err != nil {
@@ -202,6 +251,7 @@ func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store
 		Scanned:  ex.scan,
 		Morsels:  ex.morsels,
 		Workers:  ex.workers,
+		Kernels:  ex.kern,
 	}, nil
 }
 
@@ -304,7 +354,8 @@ func (ex *executor) joinWithLeaf(outer *relation, leaf *plan.CompiledPattern) (*
 		if conflict {
 			continue
 		}
-		matches, _ := ex.st.Match(pat)
+		var matches []store.IDTriple
+		matches, ex.probeScratch = ex.st.MatchBuf(pat, ex.probeScratch)
 		ex.scan += len(matches)
 		ex.work += float64(len(matches))
 		for _, m := range matches {

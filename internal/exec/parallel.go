@@ -66,6 +66,7 @@ type execCounters struct {
 	cout float64
 	work float64
 	scan int
+	kern KernelStats
 }
 
 // workerExecutor clones the run's executor for one morsel: same store,
@@ -78,7 +79,7 @@ func (ex *executor) workerExecutor() *executor {
 
 // counters snapshots an executor's accounting.
 func (ex *executor) counters() execCounters {
-	return execCounters{cout: ex.cout, work: ex.work, scan: ex.scan}
+	return execCounters{cout: ex.cout, work: ex.work, scan: ex.scan, kern: ex.kern}
 }
 
 // mergeRowBuffers concatenates per-morsel output buffers in morsel order —
@@ -103,6 +104,7 @@ func (ex *executor) mergeMorsels(counters []execCounters, workers int) {
 		ex.cout += c.cout
 		ex.work += c.work
 		ex.scan += c.scan
+		ex.kern.add(c.kern)
 	}
 	ex.morsels += len(counters)
 	if workers > ex.workers {

@@ -39,7 +39,13 @@ func PhysOptions(opts Options) plan.PhysOptions {
 	if opts.Join == SortMergeJoin {
 		physJoin = plan.PhysJoinMerge
 	}
-	return plan.PhysOptions{Join: physJoin, PushFilters: opts.PushFilters}
+	return plan.PhysOptions{
+		Join:        physJoin,
+		PushFilters: opts.PushFilters,
+		// The leapfrog multiway join is a columnar-only operator; the row
+		// engines always lower to binary join trees.
+		Leapfrog: opts.Leapfrog && opts.Mode == Columnar,
+	}
 }
 
 // runStreaming lowers the plan and drains the operator tree.
@@ -366,9 +372,10 @@ func (op *scanOp) next() ([][]dict.ID, error) {
 // shared variables are bound into the leaf pattern and the store is
 // probed — the streaming form of joinWithLeaf's main path.
 type probeOp struct {
-	ex    *executor
-	child operator
-	plan  probePlan
+	ex      *executor
+	child   operator
+	plan    probePlan
+	scratch []store.IDTriple // MatchBuf backing for the overlay merge path
 }
 
 func newProbeOp(ex *executor, child operator, cp *plan.CompiledPattern) *probeOp {
@@ -396,7 +403,8 @@ func (op *probeOp) next() ([][]dict.ID, error) {
 			if conflict {
 				continue
 			}
-			matches, _ := op.ex.st.Match(pat)
+			var matches []store.IDTriple
+			matches, op.scratch = op.ex.st.MatchBuf(pat, op.scratch)
 			op.ex.scan += len(matches)
 			op.ex.work += float64(len(matches))
 			for _, m := range matches {

@@ -127,6 +127,52 @@ func TestGoldenStreamingEqualsMaterializing(t *testing.T) {
 	}
 }
 
+// TestGoldenColumnarMatchesStreaming: the columnar engine must be
+// bit-identical to the serial streaming engine — same Vars, Rows, row
+// order, Cout, Work and Scanned — for both join algorithms, serially and
+// at Parallelism 2 and 8, over every template and curated binding.
+func TestGoldenColumnarMatchesStreaming(t *testing.T) {
+	env := sharedEnv(t)
+	for _, g := range goldenTemplates() {
+		st := env.BSBM
+		if g.snb {
+			st = env.SNB
+		}
+		bindings := curatedBindings(t, g.tmpl, st, 3)
+		for bi, b := range bindings {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			for _, alg := range []exec.JoinAlgorithm{exec.HashJoin, exec.SortMergeJoin} {
+				sres, _, err := exec.Query(bound, st, exec.Options{Join: alg, Mode: exec.Streaming})
+				if err != nil {
+					t.Fatalf("%s binding %d streaming: %v", g.name, bi, err)
+				}
+				cres, _, err := exec.Query(bound, st, exec.Options{Join: alg, Mode: exec.Columnar})
+				if err != nil {
+					t.Fatalf("%s binding %d columnar: %v", g.name, bi, err)
+				}
+				if err := equalResults(cres, sres); err != nil {
+					t.Errorf("%s binding %d (alg %d) columnar: %v", g.name, bi, alg, err)
+				}
+				if cres.Scanned > 0 && cres.Kernels.Batches == 0 {
+					t.Errorf("%s binding %d: columnar run produced no batches", g.name, bi)
+				}
+				for _, par := range []int{2, 8} {
+					pres, _, err := exec.Query(bound, st, exec.Options{Join: alg, Mode: exec.Columnar, Parallelism: par, MorselSize: 128})
+					if err != nil {
+						t.Fatalf("%s binding %d columnar parallelism %d: %v", g.name, bi, par, err)
+					}
+					if err := equalResults(pres, sres); err != nil {
+						t.Errorf("%s binding %d (alg %d) columnar parallelism %d: %v", g.name, bi, alg, par, err)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestGoldenPushdownPreservesResults: with filter pushdown enabled the
 // final result rows stay identical on every template; only the cost
 // accounting may shrink (never grow).

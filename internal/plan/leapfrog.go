@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/sparql"
+)
+
+// This file decides when a compiled BGP is handed to the worst-case-optimal
+// leapfrog triejoin instead of the lowered binary join tree, and fixes the
+// global variable order its trie cursors iterate in. The hexastore's six
+// permutations guarantee that for every pattern there is an index whose
+// sort key is the pattern's constants followed by its (at most three)
+// variable positions in any requested order, so the only real eligibility
+// questions are structural.
+
+// leapfrogNode replaces binaryRoot with a single PhysLeapfrog node when the
+// compiled BGP is eligible:
+//
+//   - at least three patterns (binary plans are already optimal for fewer);
+//   - no pattern marked Missing (a constant absent from the dictionary makes
+//     the result empty; the binary plan handles that with zero work);
+//   - every pattern has at least one variable and no variable repeated
+//     within one pattern (a repeated variable would need a self-equality
+//     the trie cursor cannot express as a sort prefix);
+//   - some hub variable occurs in at least three patterns (star or cyclic
+//     shape — the case where binary plans materialize large intermediates);
+//   - the patterns are connected through shared variables (a disconnected
+//     BGP is a cross product, which leapfrog would handle but a binary plan
+//     handles no worse).
+//
+// The node inherits schema and cardinality from binaryRoot, so the epilogue
+// built on top of it is identical to the binary plan's. Returns nil when
+// ineligible.
+func leapfrogNode(c *Compiled, binaryRoot *PhysNode) *PhysNode {
+	if c == nil || len(c.Patterns) < 3 {
+		return nil
+	}
+	occ := map[sparql.Var]int{}   // variable -> number of patterns containing it
+	first := map[sparql.Var]int{} // variable -> first occurrence rank (pattern, then S,P,O)
+	rank := 0
+	for i := range c.Patterns {
+		cp := &c.Patterns[i]
+		if cp.Missing {
+			return nil
+		}
+		seen := map[sparql.Var]bool{}
+		for _, v := range [3]sparql.Var{cp.VarS, cp.VarP, cp.VarO} {
+			if v == "" {
+				continue
+			}
+			if seen[v] {
+				return nil // repeated variable within one pattern
+			}
+			seen[v] = true
+			occ[v]++
+			if _, ok := first[v]; !ok {
+				first[v] = rank
+			}
+			rank++
+		}
+		if len(seen) == 0 {
+			return nil // fully bound pattern: nothing for the trie to walk
+		}
+	}
+	hub := false
+	for _, n := range occ {
+		if n >= 3 {
+			hub = true
+			break
+		}
+	}
+	if !hub {
+		return nil
+	}
+	if !connectedByVars(c.Patterns) {
+		return nil
+	}
+	// Global trie order: most-shared variables first (the hub leads, so the
+	// tightest intersection happens at the top of the trie), ties broken by
+	// first occurrence for determinism.
+	vars := make([]sparql.Var, 0, len(occ))
+	for v := range occ {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		a, b := vars[i], vars[j]
+		if occ[a] != occ[b] {
+			return occ[a] > occ[b]
+		}
+		return first[a] < first[b]
+	})
+	leaves := make([]*CompiledPattern, len(c.Patterns))
+	for i := range c.Patterns {
+		leaves[i] = &c.Patterns[i]
+	}
+	return &PhysNode{
+		Op:       PhysLeapfrog,
+		Vars:     binaryRoot.Vars,
+		Card:     binaryRoot.Card,
+		Leaves:   leaves,
+		TrieVars: vars,
+	}
+}
+
+// connectedByVars reports whether the patterns form one connected component
+// under the shares-a-variable relation.
+func connectedByVars(pats []CompiledPattern) bool {
+	n := len(pats)
+	if n == 0 {
+		return false
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < n; j++ {
+			if !visited[j] && shareVar(pats[i], pats[j]) {
+				visited[j] = true
+				count++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count == n
+}

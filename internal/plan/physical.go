@@ -43,6 +43,14 @@ const (
 	PhysDistinct
 	// PhysLimit truncates the output to Limit rows.
 	PhysLimit
+	// PhysLeapfrog is a multiway worst-case-optimal join over all the
+	// query's patterns at once: synchronized trie cursors (one per
+	// pattern, each a seek-capable scan of the permutation index whose
+	// sort key is the pattern's constants followed by its variables in the
+	// global TrieVars order) intersect one variable at a time. It replaces
+	// the whole binary join tree for eligible star/cyclic BGPs, so it
+	// never materializes binary intermediate results.
+	PhysLeapfrog
 )
 
 // String names the operator for plan rendering.
@@ -68,6 +76,8 @@ func (op PhysOp) String() string {
 		return "Distinct"
 	case PhysLimit:
 		return "Limit"
+	case PhysLeapfrog:
+		return "LeapfrogTrieJoin"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -94,19 +104,31 @@ type PhysOptions struct {
 	// changes measured Cout (intermediate results shrink earlier), so it is
 	// off by default to keep the paper's cost accounting exact.
 	PushFilters bool
+	// Leapfrog replaces the binary join tree of an eligible BGP — three or
+	// more patterns, all connected through shared variables, some hub
+	// variable occurring in at least three of them, no repeated variable
+	// inside a pattern, no missing constants — with a single PhysLeapfrog
+	// node. Ineligible queries lower exactly as before. The multiway join
+	// emits rows in global trie order and counts only its final output
+	// toward Cout, so results match the binary plans as multisets but not
+	// row-for-row; it is therefore opt-in per run and excluded from the
+	// bit-identical golden matrix.
+	Leapfrog bool
 }
 
 // PhysNode is one node of a physical operator tree.
 type PhysNode struct {
 	Op          PhysOp
-	Leaf        *CompiledPattern  // PhysIndexScan, PhysIndexProbe (the probed pattern)
-	Left, Right *PhysNode         // children; unary operators use Left only
-	Vars        []sparql.Var      // output schema
-	Filters     []sparql.Filter   // PhysFilter
-	Keys        []sparql.OrderKey // PhysOrder
-	Limit       int               // PhysLimit: max rows to emit; -1 means unlimited (offset only)
-	Offset      int               // PhysLimit: rows to skip before emitting
-	Card        float64           // estimated output cardinality (join/scan nodes)
+	Leaf        *CompiledPattern   // PhysIndexScan, PhysIndexProbe (the probed pattern)
+	Left, Right *PhysNode          // children; unary operators use Left only
+	Vars        []sparql.Var       // output schema
+	Filters     []sparql.Filter    // PhysFilter
+	Keys        []sparql.OrderKey  // PhysOrder
+	Limit       int                // PhysLimit: max rows to emit; -1 means unlimited (offset only)
+	Offset      int                // PhysLimit: rows to skip before emitting
+	Card        float64            // estimated output cardinality (join/scan nodes)
+	Leaves      []*CompiledPattern // PhysLeapfrog: all patterns of the multiway join
+	TrieVars    []sparql.Var       // PhysLeapfrog: global variable order (trie levels)
 
 	// ParallelSource marks this node as the top of a parallelism-eligible
 	// pipeline and names its partitionable source: the PhysIndexScan whose
@@ -153,6 +175,18 @@ func (n *PhysNode) render(b *strings.Builder, depth int) {
 		if n.Offset > 0 {
 			fmt.Fprintf(b, " offset %d", n.Offset)
 		}
+	case PhysLeapfrog:
+		b.WriteString(" [leapfrog] order(")
+		for i, v := range n.TrieVars {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(b, "?%s", v)
+		}
+		b.WriteString(")")
+		for _, cp := range n.Leaves {
+			fmt.Fprintf(b, " p%d %v", cp.Index, cp.Pat)
+		}
 	}
 	fmt.Fprintf(b, " -> %v", n.Vars)
 	if n.ParallelSource != nil {
@@ -192,6 +226,11 @@ func Lower(c *Compiled, p *Plan, opts PhysOptions) (*Physical, error) {
 	root, err := l.lower(p.Root)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Leapfrog {
+		if lf := leapfrogNode(c, root); lf != nil {
+			root = lf
+		}
 	}
 	root, err = l.epilogue(root, c.Query)
 	if err != nil {
@@ -479,7 +518,9 @@ func placeFilter(n *PhysNode, f sparql.Filter, v sparql.Var) (*PhysNode, bool) {
 		return &PhysNode{Op: PhysFilter, Left: x, Vars: x.Vars, Filters: []sparql.Filter{f}, Card: x.Card}
 	}
 	switch n.Op {
-	case PhysIndexScan:
+	case PhysIndexScan, PhysLeapfrog:
+		// Scans introduce their variables; the leapfrog join has no
+		// children to push into — both filter their own output.
 		return wrap(n), true
 	case PhysIndexProbe:
 		// If the outer side already covers v, push below; otherwise the

@@ -165,10 +165,55 @@ type Prepared struct {
 	tmpl   *sparql.Query
 }
 
+// engineVariant names the engine configuration for plan-cache keying:
+// cached entries from different engine modes never collide, so operators
+// can flip -engine between restarts (or run A/B services over one
+// snapshot) without cache cross-talk. The streaming default keeps the
+// empty variant, preserving existing cache keys.
+func engineVariant(o exec.Options) string {
+	switch o.Mode {
+	case exec.Materializing:
+		return "materializing"
+	case exec.Columnar:
+		if o.Leapfrog {
+			return "columnar+leapfrog"
+		}
+		return "columnar"
+	default:
+		return ""
+	}
+}
+
+// kernelCounters aggregate exec.KernelStats across all queries, atomically
+// so the query hot path never takes the stats mutex.
+type kernelCounters struct {
+	batches       atomic.Uint64
+	filterRows    atomic.Uint64
+	hashProbeRows atomic.Uint64
+	mergeRows     atomic.Uint64
+	gatherRows    atomic.Uint64
+	leapfrogSeeks atomic.Uint64
+	leapfrogRows  atomic.Uint64
+}
+
+func (k *kernelCounters) add(ks exec.KernelStats) {
+	if ks == (exec.KernelStats{}) {
+		return
+	}
+	k.batches.Add(uint64(ks.Batches))
+	k.filterRows.Add(uint64(ks.FilterRows))
+	k.hashProbeRows.Add(uint64(ks.HashProbeRows))
+	k.mergeRows.Add(uint64(ks.MergeRows))
+	k.gatherRows.Add(uint64(ks.GatherRows))
+	k.leapfrogSeeks.Add(uint64(ks.LeapfrogSeeks))
+	k.leapfrogRows.Add(uint64(ks.LeapfrogRows))
+}
+
 // Service is the concurrent query service. Create one with New; all methods
 // are safe for concurrent use.
 type Service struct {
-	opts Options
+	opts    Options
+	variant string // engine-configuration component of plan-cache keys
 
 	state  atomic.Pointer[snapState]
 	swapMu sync.Mutex // serializes Swap/Reload
@@ -195,6 +240,9 @@ type Service struct {
 	parWorkersSum atomic.Uint64 // sum of per-query peak worker counts
 	parWorkersMax atomic.Uint64 // largest per-query peak worker count
 
+	// Columnar kernel telemetry, aggregated from exec results.
+	kern kernelCounters
+
 	prepMu   sync.RWMutex
 	prepared map[string]*Prepared
 
@@ -210,6 +258,7 @@ func New(st *store.Store, source string, opts Options) *Service {
 	opts = opts.normalized()
 	s := &Service{
 		opts:      opts,
+		variant:   engineVariant(opts.Exec),
 		pool:      exec.NewTokenPool(opts.Workers),
 		prepared:  make(map[string]*Prepared),
 		counts:    make(map[string]uint64),
@@ -551,7 +600,7 @@ func (s *Service) Query(ctx context.Context, text string, b sparql.Binding) (out
 // run executes one (template, binding) pair against the pinned snapshot
 // state: plan-cache lookup first, full bind/compile/optimize on a miss.
 func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, text string, b sparql.Binding) (*Outcome, error) {
-	key := plan.CacheKey(text, b)
+	key := plan.CacheKeyVariant(text, b, s.variant)
 	ent, hit := st.cache.get(key)
 	if !hit {
 		bound := tmpl
@@ -577,6 +626,7 @@ func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, te
 	if err != nil {
 		return nil, err
 	}
+	s.kern.add(res.Kernels)
 	if res.Morsels > 0 {
 		s.parQueries.Add(1)
 		s.parMorsels.Add(uint64(res.Morsels))
@@ -619,6 +669,32 @@ func (s *Service) admit(ctx context.Context) (func(), error) {
 		s.inflight.Add(-1)
 		s.pool.Release()
 	}, nil
+}
+
+// engineMode renders an exec.ExecMode for /stats and CLI flags.
+func engineMode(m exec.ExecMode) string {
+	switch m {
+	case exec.Materializing:
+		return "materializing"
+	case exec.Columnar:
+		return "columnar"
+	default:
+		return "streaming"
+	}
+}
+
+// ParseEngineMode maps the -engine flag value to an exec.ExecMode.
+func ParseEngineMode(name string) (exec.ExecMode, error) {
+	switch name {
+	case "", "streaming":
+		return exec.Streaming, nil
+	case "materializing":
+		return exec.Materializing, nil
+	case "columnar":
+		return exec.Columnar, nil
+	default:
+		return exec.Streaming, fmt.Errorf("unknown engine %q (want streaming, materializing or columnar)", name)
+	}
 }
 
 // observe records one finished request — failed ones included, so an error
@@ -679,6 +755,29 @@ type ParallelStats struct {
 	MaxWorkers  uint64  `json:"max_workers"`
 }
 
+// KernelStats are the cumulative columnar kernel counters aggregated from
+// every query since startup (all zero when the service runs a row engine).
+type KernelStats struct {
+	Batches       uint64 `json:"batches"`
+	FilterRows    uint64 `json:"filter_rows"`
+	HashProbeRows uint64 `json:"hash_probe_rows"`
+	MergeRows     uint64 `json:"merge_rows"`
+	GatherRows    uint64 `json:"gather_rows"`
+	LeapfrogSeeks uint64 `json:"leapfrog_seeks"`
+	LeapfrogRows  uint64 `json:"leapfrog_rows"`
+}
+
+// EngineStats name the configured execution engine and its kernel
+// telemetry.
+type EngineStats struct {
+	// Mode is "streaming", "materializing" or "columnar".
+	Mode string `json:"mode"`
+	// Leapfrog reports whether eligible star BGPs lower to the multiway
+	// leapfrog triejoin (columnar mode only).
+	Leapfrog bool        `json:"leapfrog"`
+	Kernels  KernelStats `json:"kernels"`
+}
+
 // StoreStats describe the current snapshot. A snapshot with pending
 // changes is an overlay: BaseTriples is its fully indexed base's size and
 // PendingInserts/PendingDeletes the delta merged in on every read.
@@ -726,6 +825,7 @@ type Stats struct {
 	Cache    CacheStats              `json:"cache"`
 	Pool     PoolStats               `json:"pool"`
 	Parallel ParallelStats           `json:"parallel"`
+	Engine   EngineStats             `json:"engine"`
 	Prepared []string                `json:"prepared"`
 	Requests map[string]RequestStats `json:"requests"`
 }
@@ -771,6 +871,19 @@ func (s *Service) Stats() Stats {
 			Queries:     s.parQueries.Load(),
 			Morsels:     s.parMorsels.Load(),
 			MaxWorkers:  s.parWorkersMax.Load(),
+		},
+		Engine: EngineStats{
+			Mode:     engineMode(s.opts.Exec.Mode),
+			Leapfrog: s.opts.Exec.Leapfrog && s.opts.Exec.Mode == exec.Columnar,
+			Kernels: KernelStats{
+				Batches:       s.kern.batches.Load(),
+				FilterRows:    s.kern.filterRows.Load(),
+				HashProbeRows: s.kern.hashProbeRows.Load(),
+				MergeRows:     s.kern.mergeRows.Load(),
+				GatherRows:    s.kern.gatherRows.Load(),
+				LeapfrogSeeks: s.kern.leapfrogSeeks.Load(),
+				LeapfrogRows:  s.kern.leapfrogRows.Load(),
+			},
 		},
 		Prepared: s.PreparedNames(),
 		Requests: make(map[string]RequestStats),

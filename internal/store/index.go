@@ -2,7 +2,6 @@ package store
 
 import (
 	"slices"
-	"sort"
 
 	"repro/internal/dict"
 )
@@ -103,36 +102,53 @@ func sortByOrder(ts []IDTriple, o order) {
 
 // searchRange returns the half-open index range [lo, hi) of triples in idx
 // (sorted by o) matching pat. pat's bound positions must be a prefix of o's
-// sort key (guaranteed by orderFor).
+// sort key (guaranteed by orderFor). The binary searches are written as
+// explicit loops (not sort.Search closures) so the per-probe hot path —
+// one searchRange per Match/MatchBuf call — stays allocation-free.
 func searchRange(idx []IDTriple, o order, pat Pattern) (lo, hi int) {
-	bounds := prefixBounds(o, pat)
-	lo = sort.Search(len(idx), func(i int) bool {
-		return !prefixLess(idx[i], o, bounds) // idx[i] >= lower bound
-	})
-	hi = lo + sort.Search(len(idx)-lo, func(i int) bool {
-		return prefixGreater(idx[lo+i], o, bounds)
-	})
-	return lo, hi
+	bounds, nb := prefixBounds(o, pat)
+	i, j := 0, len(idx)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if prefixLess(idx[h], o, bounds, nb) {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	lo = i
+	j = len(idx)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if !prefixGreater(idx[h], o, bounds, nb) {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return lo, i
 }
 
-// prefixBounds extracts the bound prefix values of pat under order o.
-// The returned slice has one entry per bound prefix component.
-func prefixBounds(o order, pat Pattern) []dict.ID {
-	var out []dict.ID
+// prefixBounds extracts the bound prefix values of pat under order o,
+// returning the component array and how many entries are meaningful.
+func prefixBounds(o order, pat Pattern) ([3]dict.ID, int) {
+	var out [3]dict.ID
+	n := 0
 	for _, pos := range orderPositions[o] {
 		v := positionValue(IDTriple{S: pat.S, P: pat.P, O: pat.O}, pos)
 		if v == dict.None {
 			break
 		}
-		out = append(out, v)
+		out[n] = v
+		n++
 	}
-	return out
+	return out, n
 }
 
 // prefixLess reports whether t's key prefix under o is strictly below the
-// bound values.
-func prefixLess(t IDTriple, o order, bounds []dict.ID) bool {
-	for i, pos := range orderPositions[o][:len(bounds)] {
+// first nb bound values.
+func prefixLess(t IDTriple, o order, bounds [3]dict.ID, nb int) bool {
+	for i, pos := range orderPositions[o][:nb] {
 		v := positionValue(t, pos)
 		if v != bounds[i] {
 			return v < bounds[i]
@@ -142,9 +158,9 @@ func prefixLess(t IDTriple, o order, bounds []dict.ID) bool {
 }
 
 // prefixGreater reports whether t's key prefix under o is strictly above
-// the bound values.
-func prefixGreater(t IDTriple, o order, bounds []dict.ID) bool {
-	for i, pos := range orderPositions[o][:len(bounds)] {
+// the first nb bound values.
+func prefixGreater(t IDTriple, o order, bounds [3]dict.ID, nb int) bool {
+	for i, pos := range orderPositions[o][:nb] {
 		v := positionValue(t, pos)
 		if v != bounds[i] {
 			return v > bounds[i]

@@ -1,0 +1,278 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// seekWorld builds a base store plus an overlay with a delta that deletes
+// some base triples and inserts fresh ones, so every seek path (plain,
+// overlay-with-changes) is exercised against the same logical triple set.
+func seekWorld(t testing.TB, seed int64, n int) (base, overlay *Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		tr := rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://s/%d", rng.Intn(n/4+1))),
+			P: rdf.NewIRI(fmt.Sprintf("http://p/%d", rng.Intn(5))),
+			O: rdf.NewIRI(fmt.Sprintf("http://o/%d", rng.Intn(n/3+1))),
+		}
+		if err := b.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base = b.Build()
+	all, _ := base.Match(Pattern{})
+	d := base.NewDelta()
+	var del, ins []rdf.Triple
+	dd := base.Dict()
+	for i := 0; i < len(all); i += 7 {
+		tr := all[i]
+		del = append(del, rdf.Triple{S: dd.Decode(tr.S), P: dd.Decode(tr.P), O: dd.Decode(tr.O)})
+	}
+	for i := 0; i < n/5; i++ {
+		ins = append(ins, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://s/new%d", rng.Intn(20))),
+			P: rdf.NewIRI(fmt.Sprintf("http://p/%d", rng.Intn(5))),
+			O: rdf.NewIRI(fmt.Sprintf("http://o/new%d", rng.Intn(40))),
+		})
+	}
+	d, err := d.Apply(ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, d.Overlay()
+}
+
+// drainVar collects the unbound-position keys the cursor delivers from its
+// current position by seeking strictly past each head. nvars is the number
+// of unbound positions (the meaningful key components).
+func drainVar(sc *Scan, nvars int) [][3]dict.ID {
+	var out [][3]dict.ID
+	for {
+		vk, ok := sc.HeadVar()
+		if !ok {
+			return out
+		}
+		out = append(out, vk)
+		next := vk
+		next[nvars-1]++
+		if next[nvars-1] == 0 { // overflow: nothing can follow
+			return out
+		}
+		sc.SeekVar(next[0], next[1], next[2])
+	}
+}
+
+// TestScanSeekOrders checks, on the plain and overlay stores, that ScanSeek
+// delivers exactly Match's triple set sorted by the requested variable
+// order, for every unbound-position ordering of several pattern shapes.
+func TestScanSeekOrders(t *testing.T) {
+	base, overlay := seekWorld(t, 1, 400)
+	for _, st := range []*Store{base, overlay} {
+		all, _ := st.Match(Pattern{})
+		pid := all[len(all)/2].P
+		sid := all[len(all)/3].S
+		cases := []struct {
+			pat    Pattern
+			orders [][]int
+		}{
+			{Pattern{}, [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}},
+			{Pattern{P: pid}, [][]int{{0, 2}, {2, 0}}},
+			{Pattern{S: sid}, [][]int{{1, 2}, {2, 1}}},
+			{Pattern{S: sid, P: pid}, [][]int{{2}}},
+		}
+		for _, tc := range cases {
+			want, _ := st.Match(tc.pat)
+			for _, vp := range tc.orders {
+				sc := st.ScanSeek(tc.pat, vp)
+				if got, exp := sc.Remaining(), len(want); got != exp {
+					t.Fatalf("pat %v varPos %v: Remaining %d, want %d", tc.pat, vp, got, exp)
+				}
+				keys := drainVar(st.ScanSeek(tc.pat, vp), len(vp))
+				if len(keys) != len(want) {
+					t.Fatalf("pat %v varPos %v: drained %d keys, want %d", tc.pat, vp, len(keys), len(want))
+				}
+				// Keys must be strictly increasing (triples are a set).
+				for i := 1; i < len(keys); i++ {
+					a, b := keys[i-1], keys[i]
+					if !(a[0] < b[0] || (a[0] == b[0] && (a[1] < b[1] || (a[1] == b[1] && a[2] < b[2])))) {
+						t.Fatalf("pat %v varPos %v: keys not increasing at %d: %v then %v", tc.pat, vp, i, a, b)
+					}
+				}
+				// The delivered key multiset must match the expected triples'
+				// keys under the same variable order.
+				var expect [][3]dict.ID
+				for _, tr := range want {
+					var k [3]dict.ID
+					for i, pos := range vp {
+						k[i] = positionValue(tr, pos)
+					}
+					expect = append(expect, k)
+				}
+				sort.Slice(expect, func(i, j int) bool {
+					a, b := expect[i], expect[j]
+					if a[0] != b[0] {
+						return a[0] < b[0]
+					}
+					if a[1] != b[1] {
+						return a[1] < b[1]
+					}
+					return a[2] < b[2]
+				})
+				for i := range keys {
+					if keys[i] != expect[i] {
+						t.Fatalf("pat %v varPos %v: key[%d] = %v, want %v", tc.pat, vp, i, keys[i], expect[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScanSeekBidirectional checks that a cursor can seek backward after
+// being consumed forward — the re-enter-a-group move a leapfrog trie
+// iterator makes once per binding of the variables above it.
+func TestScanSeekBidirectional(t *testing.T) {
+	base, overlay := seekWorld(t, 2, 300)
+	for _, st := range []*Store{base, overlay} {
+		sc := st.ScanSeek(Pattern{}, []int{0, 1, 2})
+		first, ok := sc.HeadVar()
+		if !ok {
+			t.Fatal("empty cursor")
+		}
+		// Consume everything.
+		for sc.Next(64) != nil {
+		}
+		if _, ok := sc.Head(); ok {
+			t.Fatal("cursor not exhausted after drain")
+		}
+		// Seek back to the start.
+		sc.SeekVar(0, 0, 0)
+		again, ok := sc.HeadVar()
+		if !ok || again != first {
+			t.Fatalf("after backward seek: head %v ok=%v, want %v", again, ok, first)
+		}
+		if got, want := sc.Remaining(), st.Count(Pattern{}); got != want {
+			t.Fatalf("after backward seek: Remaining %d, want %d", got, want)
+		}
+	}
+}
+
+// TestScanSeekAgreesWithScan cross-checks SeekVar against a linear filter
+// of the plain Scan stream for random targets.
+func TestScanSeekAgreesWithScan(t *testing.T) {
+	base, overlay := seekWorld(t, 3, 350)
+	rng := rand.New(rand.NewSource(99))
+	for _, st := range []*Store{base, overlay} {
+		all, _ := st.Match(Pattern{})
+		for trial := 0; trial < 50; trial++ {
+			var target [3]dict.ID
+			if trial%3 == 0 && len(all) > 0 {
+				tr := all[rng.Intn(len(all))]
+				target = [3]dict.ID{tr.O, tr.S, tr.P} // OSP order key
+			} else {
+				target = [3]dict.ID{dict.ID(rng.Intn(200)), dict.ID(rng.Intn(200)), dict.ID(rng.Intn(200))}
+			}
+			sc := st.ScanSeek(Pattern{}, []int{2, 0, 1}) // O, S, P
+			sc.SeekVar(target[0], target[1], target[2])
+			got, gotOK := sc.HeadVar()
+			// Linear reference: smallest (O,S,P) key >= target.
+			var want [3]dict.ID
+			wantOK := false
+			for _, tr := range all {
+				k := [3]dict.ID{tr.O, tr.S, tr.P}
+				less := k[0] < target[0] || (k[0] == target[0] && (k[1] < target[1] || (k[1] == target[1] && k[2] < target[2])))
+				if less {
+					continue
+				}
+				if !wantOK {
+					want, wantOK = k, true
+					continue
+				}
+				better := k[0] < want[0] || (k[0] == want[0] && (k[1] < want[1] || (k[1] == want[1] && k[2] < want[2])))
+				if better {
+					want = k
+				}
+			}
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("SeekVar(%v): head %v ok=%v, want %v ok=%v", target, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestScanOverlayNextAllocs is the allocation regression test for the
+// overlay merge path: after the first batch sizes the internal buffer,
+// Next must not allocate.
+func TestScanOverlayNextAllocs(t *testing.T) {
+	_, overlay := seekWorld(t, 4, 4000)
+	if overlay.Delta() == nil || overlay.Delta().Empty() {
+		t.Fatal("overlay has no pending changes")
+	}
+	sc := overlay.Scan(Pattern{})
+	if sc.Next(32) == nil {
+		t.Fatal("empty scan")
+	}
+	runs := 50
+	if sc.Remaining() < runs*32 {
+		t.Fatalf("scan too small for %d warm runs: %d remaining", runs, sc.Remaining())
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if sc.Next(32) == nil {
+			t.Fatal("cursor exhausted mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("overlay Scan.Next allocates %.1f times per batch in steady state, want 0", avg)
+	}
+}
+
+// TestMatchBufAllocs is the allocation regression test for the probe path:
+// repeated MatchBuf calls over an overlay with pending changes must reuse
+// the caller's scratch once it has grown to the largest run.
+func TestMatchBufAllocs(t *testing.T) {
+	_, overlay := seekWorld(t, 5, 2000)
+	all, _ := overlay.Match(Pattern{})
+	subs := make([]dict.ID, 0, 64)
+	seen := map[dict.ID]bool{}
+	for _, tr := range all {
+		if !seen[tr.S] {
+			seen[tr.S] = true
+			subs = append(subs, tr.S)
+		}
+	}
+	var scratch []IDTriple
+	warm := func() {
+		for _, s := range subs {
+			var m []IDTriple
+			m, scratch = overlay.MatchBuf(Pattern{S: s}, scratch)
+			_ = m
+		}
+	}
+	warm()
+	avg := testing.AllocsPerRun(20, warm)
+	if avg != 0 {
+		t.Fatalf("MatchBuf allocates %.1f times per probe sweep in steady state, want 0", avg)
+	}
+	// And it must agree with Match.
+	for _, s := range subs {
+		var m []IDTriple
+		m, scratch = overlay.MatchBuf(Pattern{S: s}, scratch)
+		want, _ := overlay.Match(Pattern{S: s})
+		if len(m) != len(want) {
+			t.Fatalf("MatchBuf(%d): %d matches, Match: %d", s, len(m), len(want))
+		}
+		for i := range m {
+			if m[i] != want[i] {
+				t.Fatalf("MatchBuf(%d): triple %d = %v, want %v", s, i, m[i], want[i])
+			}
+		}
+	}
+}

@@ -188,20 +188,46 @@ func (s *Store) Len() int { return s.n }
 // order value is the index's sort order (useful for merge joins); callers
 // that only need the set of matches can ignore it.
 func (s *Store) Match(pat Pattern) ([]IDTriple, order) {
+	m, _, o := s.matchInto(pat, nil)
+	return m, o
+}
+
+// MatchBuf is Match with caller-provided scratch for the overlay merge
+// path: when the matched range has pending delta changes, the merged run
+// is assembled in scratch's backing array (grown only when too small)
+// instead of a fresh allocation. It returns the matches and the possibly
+// grown scratch to pass back on the next call. On a plain store — or an
+// overlay range without pending changes — matches is the usual zero-copy
+// index subslice and scratch comes back untouched; matches must therefore
+// be treated as read-only and is only valid until the next MatchBuf call
+// with the same scratch. Probe loops (one Match per outer row) use this to
+// stay allocation-free in steady state.
+func (s *Store) MatchBuf(pat Pattern, scratch []IDTriple) (matches, scratch2 []IDTriple) {
+	m, scr, _ := s.matchInto(pat, scratch)
+	return m, scr
+}
+
+// matchInto implements Match and MatchBuf: zero-copy when possible,
+// otherwise merging into scratch's backing array.
+func (s *Store) matchInto(pat Pattern, scratch []IDTriple) ([]IDTriple, []IDTriple, order) {
 	o := orderFor(pat.boundMask())
 	idx := s.idx[o]
 	lo, hi := searchRange(idx, o, pat)
 	if s.delta == nil {
-		return idx[lo:hi], o
+		return idx[lo:hi], scratch, o
 	}
 	del := runFor(s.delta.del[o], o, pat)
 	ins := runFor(s.delta.ins[o], o, pat)
 	if len(del) == 0 && len(ins) == 0 {
-		return idx[lo:hi], o
+		return idx[lo:hi], scratch, o
 	}
-	out := make([]IDTriple, 0, hi-lo-len(del)+len(ins))
+	need := hi - lo - len(del) + len(ins)
+	out := scratch[:0]
+	if cap(out) < need {
+		out = make([]IDTriple, 0, need)
+	}
 	mergeRuns(idx[lo:hi], del, ins, o, func(t IDTriple) { out = append(out, t) })
-	return out, o
+	return out, out[:0], o
 }
 
 // Count returns the exact number of triples matching pat in O(log n) —
