@@ -1,0 +1,93 @@
+package repro
+
+// Compositional-algebra benchmarks: OPTIONAL, UNION and aggregation over
+// the same broad BSBM drill-down world as the parallel/columnar bench
+// families. Rows and the Work/Cout accounting are engine-invariant
+// (streaming vs columnar, any parallelism), so the custom metrics double
+// as a cross-engine consistency check inside the bench artifact.
+
+import (
+	"testing"
+
+	"repro/internal/bsbm"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sparql"
+)
+
+// benchAlgebra times one algebra template against the shared BSBM world
+// on the given engine, reporting the engine-invariant result metrics.
+func benchAlgebra(b *testing.B, src string, mode exec.ExecMode) {
+	st, binding := benchParallelSetup(b)
+	tmpl, err := sparql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := tmpl.Bind(binding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := plan.Compile(bound, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Optimize(c, plan.NewEstimator(st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exec.Options{Mode: mode}
+	b.ResetTimer()
+	var res *exec.Result
+	for i := 0; i < b.N; i++ {
+		res, err = exec.Run(c, p, st, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Rows)), "rows")
+	b.ReportMetric(res.Work, "work")
+	b.ReportMetric(res.Cout, "cout")
+}
+
+// aggregateText counts offers per product of the bound type — the
+// grouped-aggregation shape over the skewed offer distribution.
+const aggregateText = `
+PREFIX bsbm: <http://bsbm.example.org/>
+SELECT ?product (COUNT(*) AS ?n) WHERE {
+  ?product a %ProductType .
+  ?offer bsbm:product ?product .
+} GROUP BY ?product HAVING(?n >= 2) ORDER BY ?product`
+
+// BenchmarkAlgebraOptionalStreaming times the Q5 optional-offers drill-down
+// (left join over the offer distribution) on the streaming engine.
+func BenchmarkAlgebraOptionalStreaming(b *testing.B) {
+	benchAlgebra(b, bsbm.QueryQ5Text, exec.Streaming)
+}
+
+// BenchmarkAlgebraOptionalColumnar is Q5 on the columnar engine.
+func BenchmarkAlgebraOptionalColumnar(b *testing.B) {
+	benchAlgebra(b, bsbm.QueryQ5Text, exec.Columnar)
+}
+
+// BenchmarkAlgebraUnionStreaming times the Q6 offers-or-reviews union on
+// the streaming engine.
+func BenchmarkAlgebraUnionStreaming(b *testing.B) {
+	benchAlgebra(b, bsbm.QueryQ6Text, exec.Streaming)
+}
+
+// BenchmarkAlgebraUnionColumnar is Q6 on the columnar engine.
+func BenchmarkAlgebraUnionColumnar(b *testing.B) {
+	benchAlgebra(b, bsbm.QueryQ6Text, exec.Columnar)
+}
+
+// BenchmarkAlgebraAggregateStreaming times grouped aggregation with
+// HAVING on the streaming engine.
+func BenchmarkAlgebraAggregateStreaming(b *testing.B) {
+	benchAlgebra(b, aggregateText, exec.Streaming)
+}
+
+// BenchmarkAlgebraAggregateColumnar is the grouped aggregation on the
+// columnar engine.
+func BenchmarkAlgebraAggregateColumnar(b *testing.B) {
+	benchAlgebra(b, aggregateText, exec.Columnar)
+}

@@ -28,7 +28,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "bsbm", "dataset: bsbm | snb")
 		scale   = flag.String("scale", "test", "scale preset: test | default")
-		query   = flag.String("query", "q4", "query template: bsbm q1|q2|q3|q4, snb q1|q2|q3")
+		query   = flag.String("query", "q4", "query template: bsbm q1|q2|q3|q4|q5|q6, snb q1|q2|q3|q4 (q5/q6 and snb q4 use the compositional algebra and need a non-materializing engine)")
 		mode    = flag.String("mode", "uniform", "sampling mode: uniform | curated")
 		groups  = flag.Int("groups", 4, "independent binding groups (uniform mode)")
 		n       = flag.Int("n", 100, "bindings per group / per class")
@@ -151,6 +151,10 @@ func load(dataset, scale, query string, seed int64, snapshot string) (*store.Sto
 			return st, bsbm.Q3(), "Q3", nil
 		case "q4":
 			return st, bsbm.Q4(), "Q4", nil
+		case "q5":
+			return st, bsbm.Q5(), "Q5", nil
+		case "q6":
+			return st, bsbm.Q6(), "Q6", nil
 		}
 		return nil, nil, "", fmt.Errorf("unknown bsbm query %q", query)
 	case "snb":
@@ -173,6 +177,8 @@ func load(dataset, scale, query string, seed int64, snapshot string) (*store.Sto
 			return st, snb.Q2(), "Q2", nil
 		case "q3":
 			return st, snb.Q3(), "Q3", nil
+		case "q4":
+			return st, snb.Q4(), "Q4", nil
 		}
 		return nil, nil, "", fmt.Errorf("unknown snb query %q", query)
 	}

@@ -196,6 +196,10 @@ func run(w io.Writer, cfg config) error {
 			fmt.Fprintf(w, "leapfrog: %d rows, %d trie seeks\n", k.LeapfrogRows, k.LeapfrogSeeks)
 		}
 	}
+	if k := res.Kernels; k.LeftJoinRows > 0 || k.UnionRows > 0 || k.AggGroups > 0 {
+		fmt.Fprintf(w, "algebra: left-join %d rows, union %d rows, %d groups\n",
+			k.LeftJoinRows, k.UnionRows, k.AggGroups)
+	}
 	// Header.
 	cols := make([]string, len(res.Vars))
 	for i, v := range res.Vars {
@@ -210,7 +214,11 @@ func run(w io.Writer, cfg config) error {
 		}
 		cells := make([]string, len(row))
 		for j, id := range row {
-			cells[j] = d.Decode(id).String()
+			if t, ok := d.TryDecode(id); ok {
+				cells[j] = t.String()
+			} else {
+				cells[j] = "UNDEF" // unbound OPTIONAL/UNION column
+			}
 		}
 		fmt.Fprintln(w, strings.Join(cells, "\t"))
 	}

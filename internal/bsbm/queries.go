@@ -61,8 +61,37 @@ SELECT ?offer ?price WHERE {
   ?vendor bsbm:country %Country .
 }`
 
+// QueryQ5Text is the optional-offers drill-down: every labelled product
+// of a type, with its offer prices where offers exist — products without
+// offers survive with an unbound ?price. The left join over the skewed
+// offer distribution is the compositional-algebra counterpart of Q1's
+// inner drill-down; the materializing baseline rejects it.
+const QueryQ5Text = `
+PREFIX bsbm: <http://bsbm.example.org/>
+SELECT ?product ?label ?price WHERE {
+  ?product a %ProductType .
+  ?product bsbm:label ?label .
+  OPTIONAL { ?offer bsbm:product ?product . ?offer bsbm:price ?price . }
+}`
+
+// QueryQ6Text is the union drill-down: all market activity — offers or
+// reviews — attached to products of a type, as one relation with a
+// per-branch attachment variable.
+const QueryQ6Text = `
+PREFIX bsbm: <http://bsbm.example.org/>
+SELECT ?product ?offer ?review WHERE {
+  ?product a %ProductType .
+  { ?offer bsbm:product ?product . } UNION { ?review bsbm:reviewFor ?product . }
+}`
+
 // Q4 returns the parsed Q4 template.
 func Q4() *sparql.Query { return sparql.MustParse(QueryQ4Text) }
+
+// Q5 returns the parsed Q5 (optional offers) template.
+func Q5() *sparql.Query { return sparql.MustParse(QueryQ5Text) }
+
+// Q6 returns the parsed Q6 (offers-or-reviews union) template.
+func Q6() *sparql.Query { return sparql.MustParse(QueryQ6Text) }
 
 // Q2 returns the parsed Q2 template.
 func Q2() *sparql.Query { return sparql.MustParse(QueryQ2Text) }

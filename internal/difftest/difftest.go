@@ -1,12 +1,16 @@
 // Package difftest implements the differential test harness for the query
 // engines and the updatable store: a seeded generator produces random
-// datasets, random INSERT DATA / DELETE DATA histories and random BGP
-// queries (bounded patterns, filters, DISTINCT/ORDER BY/LIMIT/OFFSET
+// datasets, random update histories (ground INSERT DATA / DELETE DATA
+// plus pattern-driven DELETE/INSERT WHERE ops) and random BGP queries
+// (bounded patterns, filters, DISTINCT/ORDER BY/LIMIT/OFFSET
 // modifiers), and every query is executed through the full engine matrix —
 // Materializing, Streaming, and Streaming at Parallelism 2 and 8 — over
 // both the pristine store and the delta-overlaid store, with the overlay
 // additionally cross-checked against a store rebuilt from scratch over the
-// equivalent triple set. All executions of one (store, query) pair must be
+// equivalent triple set. Algebra queries (OPTIONAL/UNION/aggregates) run
+// through the streaming and columnar cells only; the materializing
+// engine is the frozen paper baseline and must reject them with
+// exec.ErrUnsupportedConstruct, which the harness asserts. All executions of one (store, query) pair must be
 // byte-identical in rows AND accounting (Cout/Work/Scanned); the overlay
 // and the rebuilt store must also agree byte-for-byte with each other,
 // because the rebuilt reference shares the overlay's dictionary IDs and the
@@ -20,6 +24,7 @@
 package difftest
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -98,8 +103,9 @@ func GenScenario(seed int64) (*Scenario, error) {
 	}
 	sc.Base = b.Build()
 
-	// Update history: a few batches of inserts and deletes, expressed as
-	// parsed SPARQL-Update requests so the harness exercises the same code
+	// Update history: a few batches of inserts, deletes and pattern-driven
+	// WHERE ops, expressed as parsed SPARQL-Update requests and applied
+	// through exec.ApplyUpdateDelta so the harness exercises the same code
 	// path the service does.
 	d := sc.Base.NewDelta()
 	batches := 1 + rng.Intn(4)
@@ -124,6 +130,21 @@ func GenScenario(seed int64) (*Scenario, error) {
 			}
 			ops = append(ops, "DELETE DATA {\n"+strings.Join(lines, "\n")+"\n}")
 		}
+		// Occasionally a pattern-driven op: delete a predicate's edges,
+		// derive a new predicate, or rename one — the WHERE runs against
+		// the snapshot left by the preceding ops of the same request.
+		if rng.Intn(2) == 0 {
+			p := sc.vocabP[rng.Intn(len(sc.vocabP))].String()
+			switch rng.Intn(3) {
+			case 0:
+				ops = append(ops, fmt.Sprintf("DELETE WHERE { ?s %s ?o . }", p))
+			case 1:
+				ops = append(ops, fmt.Sprintf("INSERT { ?s <http://d/w%d> ?o . } WHERE { ?s %s ?o . }", bi, p))
+			default:
+				p2 := sc.vocabP[rng.Intn(len(sc.vocabP))].String()
+				ops = append(ops, fmt.Sprintf("DELETE { ?s %s ?o . } INSERT { ?s %s ?o . } WHERE { ?s %s ?o . }", p, p2, p))
+			}
+		}
 		if len(ops) == 0 {
 			continue
 		}
@@ -132,15 +153,9 @@ func GenScenario(seed int64) (*Scenario, error) {
 			return nil, fmt.Errorf("seed %d: generated update does not parse: %w", seed, err)
 		}
 		sc.Updates = append(sc.Updates, u)
-		for _, op := range u.Ops {
-			if op.Insert {
-				d, err = d.Apply(op.Triples, nil)
-			} else {
-				d, err = d.Apply(nil, op.Triples)
-			}
-			if err != nil {
-				return nil, err
-			}
+		d, err = exec.ApplyUpdateDelta(d, u)
+		if err != nil {
+			return nil, err
 		}
 	}
 	sc.Delta = d
@@ -266,7 +281,8 @@ func (sc *Scenario) GenQuery(rng *rand.Rand) (*sparql.Query, error) {
 }
 
 // Canonical renders an execution result into one comparable string: the
-// schema, the accounting, and every row decoded through d.
+// schema, the accounting, and every row decoded through d. Unbound
+// columns (OPTIONAL/UNION padding) render as UNDEF.
 func Canonical(d *dict.Dict, res *exec.Result) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "vars=%v cout=%v work=%v scanned=%d rows=%d\n",
@@ -276,7 +292,11 @@ func Canonical(d *dict.Dict, res *exec.Result) string {
 			if j > 0 {
 				sb.WriteByte('\t')
 			}
-			sb.WriteString(d.Decode(id).String())
+			if t, ok := d.TryDecode(id); ok {
+				sb.WriteString(t.String())
+			} else {
+				sb.WriteString("UNDEF")
+			}
 		}
 		sb.WriteByte('\n')
 	}
@@ -466,6 +486,110 @@ func RunQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
 	var ref string
 	var refName string
 	for _, er := range EngineMatrix() {
+		res, _, err := exec.Query(q, st, er.Opts)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", label, er.Name, err)
+		}
+		got := Canonical(st.Dict(), res)
+		if ref == "" {
+			ref, refName = got, er.Name
+			continue
+		}
+		if got != ref {
+			return "", fmt.Errorf("%s: engine %s diverges from %s\n--- %s\n%s\n--- %s\n%s",
+				label, er.Name, refName, refName, ref, er.Name, got)
+		}
+	}
+	return ref, nil
+}
+
+// AlgebraEngineMatrix is the engine matrix for algebra queries
+// (OPTIONAL/UNION/aggregates): the streaming and columnar engines, serial
+// and at Parallelism 2 and 8. The materializing engine is excluded — it
+// is the frozen paper baseline and rejects these constructs with
+// exec.ErrUnsupportedConstruct, which RunAlgebraQuery asserts separately.
+func AlgebraEngineMatrix() []EngineRun {
+	return []EngineRun{
+		{Name: "streaming", Opts: exec.Options{}},
+		{Name: "streaming-p2-m1", Opts: exec.Options{Parallelism: 2, MorselSize: 1}},
+		{Name: "streaming-p8-m16", Opts: exec.Options{Parallelism: 8, MorselSize: 16}},
+		{Name: "columnar", Opts: exec.Options{Mode: exec.Columnar}},
+		{Name: "columnar-p2-m1", Opts: exec.Options{Mode: exec.Columnar, Parallelism: 2, MorselSize: 1}},
+		{Name: "columnar-p8-m16", Opts: exec.Options{Mode: exec.Columnar, Parallelism: 8, MorselSize: 16}},
+	}
+}
+
+// GenAlgebraQuery produces one random compositional query over the
+// scenario's vocabulary: a base BGP extended with an OPTIONAL group, a
+// UNION, or GROUP BY + aggregation (sometimes combined), with the usual
+// random filters and modifiers. The query is generated as text and
+// re-parsed so the harness also covers the extended grammar.
+func (sc *Scenario) GenAlgebraQuery(rng *rand.Rand) (*sparql.Query, error) {
+	pred := func() string { return sc.vocabP[rng.Intn(len(sc.vocabP))].String() }
+	var b strings.Builder
+	shape := rng.Intn(4)
+	agg := shape == 2 || (shape == 3 && rng.Intn(2) == 0)
+	if agg {
+		fn := []string{"COUNT(?b)", "COUNT(DISTINCT ?b)", "SUM(?b)", "MIN(?b)", "MAX(?b)", "AVG(?b)"}[rng.Intn(6)]
+		b.WriteString("SELECT ?a (COUNT(*) AS ?n) (" + fn + " AS ?v) WHERE {\n")
+	} else {
+		b.WriteString("SELECT * WHERE {\n")
+	}
+	fmt.Fprintf(&b, "  ?a %s ?b .\n", pred())
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "  FILTER(?b > %d)\n", rng.Intn(100))
+	}
+	switch shape {
+	case 0, 2: // OPTIONAL (possibly under aggregation)
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "  OPTIONAL { ?b %s ?c . }\n", pred())
+		} else {
+			fmt.Fprintf(&b, "  OPTIONAL { ?a %s ?c . ?c %s ?d . }\n", pred(), pred())
+		}
+	case 1: // UNION joined with the base pattern
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "  { ?a %s ?c . } UNION { ?a %s ?d . }\n", pred(), pred())
+		} else {
+			fmt.Fprintf(&b, "  { ?b %s ?c . } UNION { ?c %s ?b . }\n", pred(), pred())
+		}
+	case 3: // OPTIONAL and UNION stacked
+		fmt.Fprintf(&b, "  { ?a %s ?c . } UNION { ?a %s ?c . }\n", pred(), pred())
+		fmt.Fprintf(&b, "  OPTIONAL { ?c %s ?d . }\n", pred())
+	}
+	b.WriteString("}")
+	if agg {
+		b.WriteString(" GROUP BY ?a")
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " HAVING(?n >= %d)", 1+rng.Intn(3))
+		}
+		b.WriteString(" ORDER BY ?a")
+	} else if rng.Intn(2) == 0 {
+		b.WriteString(" ORDER BY ?a ?b")
+	}
+	if rng.Intn(4) == 0 {
+		fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(20))
+	}
+	q, err := sparql.Parse(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("generated algebra query does not parse: %w\n%s", err, b.String())
+	}
+	// Round-trip through the renderer as well.
+	parsed, err := sparql.Parse(q.String())
+	if err != nil {
+		return nil, fmt.Errorf("generated algebra query does not re-parse: %w\n%s", err, q.String())
+	}
+	return parsed, nil
+}
+
+// RunAlgebraQuery executes q through the algebra engine matrix and checks
+// all cells agree byte-identically in rows AND accounting; it also
+// asserts the materializing engine rejects q with ErrUnsupportedConstruct.
+func RunAlgebraQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
+	if _, _, err := exec.Query(q, st, exec.Options{Mode: exec.Materializing}); !errors.Is(err, exec.ErrUnsupportedConstruct) {
+		return "", fmt.Errorf("%s/materializing: error = %v, want ErrUnsupportedConstruct", label, err)
+	}
+	var ref, refName string
+	for _, er := range AlgebraEngineMatrix() {
 		res, _, err := exec.Query(q, st, er.Opts)
 		if err != nil {
 			return "", fmt.Errorf("%s/%s: %w", label, er.Name, err)

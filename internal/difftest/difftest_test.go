@@ -217,3 +217,41 @@ func TestDifferentialSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialAlgebra cross-checks OPTIONAL/UNION/aggregate queries —
+// the compositional algebra the materializing baseline does not support —
+// across the streaming and columnar engines at Parallelism 1, 2 and 8,
+// over the pristine store, the delta overlay (whose history includes
+// pattern-driven WHERE updates) and the rebuilt reference store.
+func TestDifferentialAlgebra(t *testing.T) {
+	const queriesPerScenario = 20
+	for _, seed := range seedsUnderTest(t) {
+		sc, err := GenScenario(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		qrng := rand.New(rand.NewSource(sc.Seed * 9973))
+		for qi := 0; qi < queriesPerScenario; qi++ {
+			q, err := sc.GenAlgebraQuery(qrng)
+			if err != nil {
+				reportFailure(t, sc, "", err)
+			}
+			text := q.String()
+			if _, err := RunAlgebraQuery(q, sc.Base, "pristine"); err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			ovl, err := RunAlgebraQuery(q, sc.Overlay, "overlay")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			reb, err := RunAlgebraQuery(q, sc.Rebuilt, "rebuilt")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			if ovl != reb {
+				reportFailure(t, sc, text, fmt.Errorf(
+					"overlay result diverges from rebuilt store\n--- overlay\n%s\n--- rebuilt\n%s", ovl, reb))
+			}
+		}
+	}
+}

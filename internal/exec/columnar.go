@@ -221,6 +221,47 @@ func (ex *executor) colBuildNode(n *plan.PhysNode) (colOperator, error) {
 		return &colLimitOp{child: child, limit: n.Limit, offset: n.Offset, earlyStop: ex.opts.EarlyStop}, nil
 	case plan.PhysLeapfrog:
 		return newLeapfrogOp(ex, n), nil
+	case plan.PhysLeftJoin:
+		left, err := ex.colBuild(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.colBuild(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &colLeftJoinOp{ex: ex, left: left, right: right}, nil
+	case plan.PhysUnion:
+		kids := make([]colOperator, len(n.Kids))
+		kidVars := make([][]sparql.Var, len(n.Kids))
+		for i, k := range n.Kids {
+			kid, err := ex.colBuild(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = kid
+			kidVars[i] = kid.vars()
+		}
+		return &colUnionOp{ex: ex, kids: kids, outVars: n.Vars, maps: unionColMaps(n.Vars, kidVars)}, nil
+	case plan.PhysAggregate:
+		child, err := ex.colBuild(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		in := child.vars()
+		keyCols := make([]int, len(n.GroupBy))
+		for i, v := range n.GroupBy {
+			ci := varIndexOf(in, v)
+			if ci < 0 {
+				return nil, fmt.Errorf("exec: GROUP BY unbound variable ?%s", v)
+			}
+			keyCols[i] = ci
+		}
+		specs, err := compileAggs(in, n.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		return &colAggOp{ex: ex, child: child, outVars: n.Vars, keyCols: keyCols, specs: specs}, nil
 	default:
 		return nil, fmt.Errorf("exec: unknown physical operator %v", n.Op)
 	}
@@ -473,6 +514,10 @@ func (op *colFilterOp) pass(d *dict.Dict, b *colBatch, r int32) bool {
 		c := &op.filters[i]
 		if col := op.memoCol[i]; col >= 0 {
 			id := b.cols[col][r]
+			if id == dict.None {
+				// Unbound column: no comparison holds (see evalFilters).
+				return false
+			}
 			v, ok := op.memo[i][id]
 			if !ok {
 				lt, rt := c.leftTerm, c.rightTerm
@@ -492,10 +537,18 @@ func (op *colFilterOp) pass(d *dict.Dict, b *colBatch, r int32) bool {
 		}
 		lt, rt := c.leftTerm, c.rightTerm
 		if c.leftCol >= 0 {
-			lt = d.Decode(b.cols[c.leftCol][r])
+			id := b.cols[c.leftCol][r]
+			if id == dict.None {
+				return false
+			}
+			lt = d.Decode(id)
 		}
 		if c.rightCol >= 0 {
-			rt = d.Decode(b.cols[c.rightCol][r])
+			id := b.cols[c.rightCol][r]
+			if id == dict.None {
+				return false
+			}
+			rt = d.Decode(id)
 		}
 		if !evalCompare(lt, c.op, rt) {
 			return false

@@ -140,7 +140,10 @@ type Result struct {
 	Kernels KernelStats
 }
 
-// KernelStats counts the work done by the columnar and leapfrog kernels.
+// KernelStats counts the work done by the columnar and leapfrog kernels,
+// plus the compositional-algebra operator counters (LeftJoinRows,
+// UnionRows, AggGroups), which are engine-independent logical counts —
+// the row and columnar engines report identical values for them.
 type KernelStats struct {
 	Batches       int // column batches emitted by columnar operators
 	FilterRows    int // rows evaluated by the columnar filter kernel
@@ -149,6 +152,9 @@ type KernelStats struct {
 	GatherRows    int // rows compacted/gathered through selection vectors
 	LeapfrogSeeks int // trie-cursor seeks issued by leapfrog searches
 	LeapfrogRows  int // rows emitted by the leapfrog multiway join
+	LeftJoinRows  int // rows emitted by left outer joins (OPTIONAL)
+	UnionRows     int // rows emitted by union operators
+	AggGroups     int // groups emitted by aggregation operators
 }
 
 // add accumulates other into s (used by the morsel-order counter merge).
@@ -160,6 +166,9 @@ func (s *KernelStats) add(o KernelStats) {
 	s.GatherRows += o.GatherRows
 	s.LeapfrogSeeks += o.LeapfrogSeeks
 	s.LeapfrogRows += o.LeapfrogRows
+	s.LeftJoinRows += o.LeftJoinRows
+	s.UnionRows += o.UnionRows
+	s.AggGroups += o.AggGroups
 }
 
 // relation is an intermediate table: a schema plus rows.
@@ -259,6 +268,9 @@ func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store
 // bottom-up with full intermediate materialization, then apply filters and
 // the ORDER BY / projection / DISTINCT / LIMIT epilogue.
 func (ex *executor) runMaterializing(c *plan.Compiled, p *plan.Plan) (*relation, error) {
+	if c.Alg != nil || p.Alg != nil || c.Query.HasAlgebra() {
+		return nil, ErrUnsupportedConstruct
+	}
 	rel, err := ex.eval(p.Root)
 	if err != nil {
 		return nil, err

@@ -51,15 +51,25 @@ func compileFilters(vars []sparql.Var, filters []sparql.Filter) ([]compiledFilte
 	return cs, nil
 }
 
-// evalFilters reports whether row passes every compiled filter.
+// evalFilters reports whether row passes every compiled filter. A filter
+// over an unbound column (dict.None, produced by OPTIONAL padding or UNION
+// branches) drops the row: no comparison is true of an unbound value.
 func evalFilters(d *dict.Dict, cs []compiledFilter, row []dict.ID) bool {
 	for _, c := range cs {
 		lt, rt := c.leftTerm, c.rightTerm
 		if c.leftCol >= 0 {
-			lt = d.Decode(row[c.leftCol])
+			id := row[c.leftCol]
+			if id == dict.None {
+				return false
+			}
+			lt = d.Decode(id)
 		}
 		if c.rightCol >= 0 {
-			rt = d.Decode(row[c.rightCol])
+			id := row[c.rightCol]
+			if id == dict.None {
+				return false
+			}
+			rt = d.Decode(id)
 		}
 		if !evalCompare(lt, c.op, rt) {
 			return false
@@ -223,8 +233,19 @@ func appendRowKey(buf []byte, row []dict.ID) []byte {
 }
 
 // compareOrder orders two dictionary IDs by their terms: numeric literals
-// numerically, everything else lexically by value.
+// numerically, everything else lexically by value. The unbound sentinel
+// (dict.None) sorts before every bound value.
 func compareOrder(d *dict.Dict, a, b dict.ID) int {
+	if a == dict.None || b == dict.None {
+		switch {
+		case a == b:
+			return 0
+		case a == dict.None:
+			return -1
+		default:
+			return 1
+		}
+	}
 	ta, tb := d.Decode(a), d.Decode(b)
 	fa, oka := numericValue(ta)
 	fb, okb := numericValue(tb)

@@ -149,6 +149,34 @@ func (ex *executor) buildNode(n *plan.PhysNode) (operator, error) {
 			return nil, err
 		}
 		return &limitOp{child: child, limit: n.Limit, offset: n.Offset, earlyStop: ex.opts.EarlyStop}, nil
+	case plan.PhysLeftJoin:
+		left, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &leftJoinOp{ex: ex, left: left, right: right}, nil
+	case plan.PhysUnion:
+		kids := make([]operator, len(n.Kids))
+		kidVars := make([][]sparql.Var, len(n.Kids))
+		for i, k := range n.Kids {
+			kid, err := ex.build(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = kid
+			kidVars[i] = kid.vars()
+		}
+		return &unionOp{ex: ex, kids: kids, outVars: n.Vars, maps: unionColMaps(n.Vars, kidVars)}, nil
+	case plan.PhysAggregate:
+		child, err := ex.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return newAggOp(ex, child, n.GroupBy, n.Aggs, n.Vars)
 	default:
 		return nil, fmt.Errorf("exec: unknown physical operator %v", n.Op)
 	}

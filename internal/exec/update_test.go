@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+// applyAndQuery applies an update to the social store and returns the
+// rows of a follow-up query against the resulting overlay.
+func applyAndQuery(t *testing.T, update, query string) []string {
+	t.Helper()
+	st := buildSocialStore(t)
+	d, err := ApplyUpdate(st, sparql.MustParseUpdate(update))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Overlay()
+	res := run(t, snap, query, Options{})
+	return decodeRows(snap, res)
+}
+
+func TestUpdateDeleteWhere(t *testing.T) {
+	// DELETE WHERE shorthand: drop every knows edge out of alice.
+	got := applyAndQuery(t,
+		`DELETE WHERE { <http://x/alice> <http://x/knows> ?q . }`,
+		`SELECT ?p ?q WHERE { ?p <http://x/knows> ?q . } ORDER BY ?p ?q`)
+	want := []string{"<http://x/bob> | <http://x/carol>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestUpdateInsertWhere(t *testing.T) {
+	// Materialize the symmetric closure of knows.
+	got := applyAndQuery(t,
+		`INSERT { ?q <http://x/knows> ?p . } WHERE { ?p <http://x/knows> ?q . }`,
+		`SELECT ?p ?q WHERE { ?p <http://x/knows> ?q . } ORDER BY ?p ?q`)
+	want := []string{
+		"<http://x/alice> | <http://x/bob>",
+		"<http://x/alice> | <http://x/carol>",
+		"<http://x/bob> | <http://x/alice>",
+		"<http://x/bob> | <http://x/carol>",
+		"<http://x/carol> | <http://x/alice>",
+		"<http://x/carol> | <http://x/bob>",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestUpdateDeleteInsertWhere(t *testing.T) {
+	// Rename a predicate in one pass: deletions apply before insertions,
+	// both instantiated from the same pre-op solution set.
+	got := applyAndQuery(t,
+		`DELETE { ?p <http://x/age> ?a . } INSERT { ?p <http://x/years> ?a . } WHERE { ?p <http://x/age> ?a . FILTER(?a > 20) }`,
+		`SELECT ?p ?a WHERE { ?p <http://x/years> ?a . } ORDER BY ?p`)
+	want := []string{
+		`<http://x/alice> | "30"^^<http://www.w3.org/2001/XMLSchema#integer>`,
+		`<http://x/carol> | "45"^^<http://www.w3.org/2001/XMLSchema#integer>`,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	got = applyAndQuery(t,
+		`DELETE { ?p <http://x/age> ?a . } INSERT { ?p <http://x/years> ?a . } WHERE { ?p <http://x/age> ?a . FILTER(?a > 20) }`,
+		`SELECT ?p ?a WHERE { ?p <http://x/age> ?a . } ORDER BY ?p`)
+	want = []string{`<http://x/bob> | "17"^^<http://www.w3.org/2001/XMLSchema#integer>`}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("remaining age rows = %v, want %v", got, want)
+	}
+}
+
+func TestUpdateOpsSeeEarlierOps(t *testing.T) {
+	// The second op's WHERE must observe the first op's insertion.
+	got := applyAndQuery(t,
+		`INSERT DATA { <http://x/dave> <http://x/knows> <http://x/alice> . } ;
+		 INSERT { ?p <http://x/greeted> ?q . } WHERE { ?p <http://x/knows> ?q . ?q <http://x/knows> ?r . }`,
+		`SELECT ?p ?q WHERE { ?p <http://x/greeted> ?q . } ORDER BY ?p ?q`)
+	want := []string{
+		"<http://x/alice> | <http://x/bob>",
+		"<http://x/dave> | <http://x/alice>",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestUpdateSkipsInvalidInstantiation(t *testing.T) {
+	// ?a binds to a literal; using it as subject yields an invalid
+	// triple, which is skipped silently rather than failing the update.
+	st := buildSocialStore(t)
+	d, err := ApplyUpdate(st, sparql.MustParseUpdate(
+		`INSERT { ?a <http://x/p> ?p . } WHERE { ?p <http://x/age> ?a . }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.InsertCount() != 0 {
+		t.Fatalf("inserts = %d, want 0 (literal subjects skipped)", d.InsertCount())
+	}
+}
+
+func TestUpdateWhereNoMatchIsNoop(t *testing.T) {
+	st := buildSocialStore(t)
+	d0 := st.NewDelta()
+	d, err := ApplyUpdateDelta(d0, sparql.MustParseUpdate(
+		`DELETE WHERE { ?p <http://x/nosuch> ?q . }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != d0 {
+		t.Fatal("no-match update should return the input delta unchanged")
+	}
+}

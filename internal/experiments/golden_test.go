@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -290,6 +291,62 @@ func TestGoldenParallelMatchesSerial(t *testing.T) {
 				}
 				if err := equalResults(res, serial); err != nil {
 					t.Errorf("%s binding %d parallelism %d: %v", g.name, bi, par, err)
+				}
+			}
+		}
+	}
+}
+
+// algebraTemplates are the compositional-algebra workload templates
+// (OPTIONAL/UNION/aggregates). They are kept out of goldenTemplates
+// deliberately: the materializing engine is the frozen paper baseline and
+// rejects these constructs, so the golden property here is streaming ==
+// columnar (serial and parallel) plus the typed rejection.
+func algebraTemplates() []goldenTemplate {
+	return []goldenTemplate{
+		{"bsbm-q5-optional", bsbm.Q5(), false},
+		{"bsbm-q6-union", bsbm.Q6(), false},
+		{"snb-q4-grouped", snb.Q4(), true},
+	}
+}
+
+// TestGoldenAlgebraEngines: over every algebra template and curated
+// binding, the streaming and columnar engines agree bit-for-bit — Vars,
+// Rows, row order, Cout, Work, Scanned — serially and at Parallelism 2
+// and 8, and the materializing engine rejects the query with
+// exec.ErrUnsupportedConstruct.
+func TestGoldenAlgebraEngines(t *testing.T) {
+	env := sharedEnv(t)
+	for _, g := range algebraTemplates() {
+		st := env.BSBM
+		if g.snb {
+			st = env.SNB
+		}
+		bindings := curatedBindings(t, g.tmpl, st, 3)
+		if len(bindings) < 3 {
+			t.Fatalf("%s: only %d curated bindings", g.name, len(bindings))
+		}
+		for bi, b := range bindings {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			if _, _, err := exec.Query(bound, st, exec.Options{Mode: exec.Materializing}); !errors.Is(err, exec.ErrUnsupportedConstruct) {
+				t.Fatalf("%s binding %d materializing: error = %v, want ErrUnsupportedConstruct", g.name, bi, err)
+			}
+			sres, _, err := exec.Query(bound, st, exec.Options{Mode: exec.Streaming})
+			if err != nil {
+				t.Fatalf("%s binding %d streaming: %v", g.name, bi, err)
+			}
+			for _, par := range []int{1, 2, 8} {
+				for _, mode := range []exec.ExecMode{exec.Streaming, exec.Columnar} {
+					res, _, err := exec.Query(bound, st, exec.Options{Mode: mode, Parallelism: par, MorselSize: 128})
+					if err != nil {
+						t.Fatalf("%s binding %d mode %d parallelism %d: %v", g.name, bi, mode, par, err)
+					}
+					if err := equalResults(res, sres); err != nil {
+						t.Errorf("%s binding %d mode %d parallelism %d: %v", g.name, bi, mode, par, err)
+					}
 				}
 			}
 		}

@@ -19,7 +19,7 @@ import (
 
 // CompiledPattern is one triple pattern translated to the ID space.
 type CompiledPattern struct {
-	Index   int           // position in the query's WHERE clause
+	Index   int           // global position in compile order (WHERE clause order for flat queries)
 	Pat     store.Pattern // bound positions carry IDs; variables are None
 	VarS    sparql.Var    // variable name per position ("" if bound)
 	VarP    sparql.Var
@@ -42,9 +42,16 @@ func (cp CompiledPattern) Vars() []sparql.Var {
 
 // Compiled is a query lowered to the ID space, ready for optimization and
 // execution.
+//
+// For flat BGP queries, Patterns is the WHERE clause and Alg is nil. For
+// compositional-algebra queries (Query.HasAlgebra), Alg holds the logical
+// algebra tree whose BGP leaves own the per-leaf pattern slices, and
+// Patterns is the concatenation of every leaf's patterns in global index
+// order — informational only; execution follows Alg.
 type Compiled struct {
 	Query    *sparql.Query
 	Patterns []CompiledPattern
+	Alg      *AlgNode
 }
 
 // Compile lowers a fully bound query (no parameters) onto a store's
@@ -54,13 +61,33 @@ func Compile(q *sparql.Query, st *store.Store) (*Compiled, error) {
 	if ps := q.Params(); len(ps) != 0 {
 		return nil, fmt.Errorf("plan: query has unbound parameters %v", ps)
 	}
-	if len(q.Where) == 0 {
+	if q.Root().Empty() {
 		return nil, fmt.Errorf("plan: empty WHERE clause")
 	}
 	c := &Compiled{Query: q}
+	if q.HasAlgebra() {
+		idx := 0
+		alg, err := compileGroup(q.Root(), st, &idx)
+		if err != nil {
+			return nil, err
+		}
+		c.Alg = alg
+		c.Patterns = collectPatterns(alg, nil)
+		return c, nil
+	}
+	idx := 0
+	c.Patterns = compilePatterns(q.Where, st, &idx)
+	return c, nil
+}
+
+// compilePatterns lowers one basic graph pattern onto the dictionary,
+// numbering patterns from *idx onward (incrementing it).
+func compilePatterns(pats []sparql.TriplePattern, st *store.Store, idx *int) []CompiledPattern {
 	d := st.Dict()
-	for i, tp := range q.Where {
-		cp := CompiledPattern{Index: i}
+	out := make([]CompiledPattern, 0, len(pats))
+	for _, tp := range pats {
+		cp := CompiledPattern{Index: *idx}
+		*idx++
 		assign := func(n sparql.Node, id *dict.ID, v *sparql.Var) {
 			switch n.Kind {
 			case sparql.NodeVar:
@@ -77,9 +104,26 @@ func Compile(q *sparql.Query, st *store.Store) (*Compiled, error) {
 		assign(tp.S, &cp.Pat.S, &cp.VarS)
 		assign(tp.P, &cp.Pat.P, &cp.VarP)
 		assign(tp.O, &cp.Pat.O, &cp.VarO)
-		c.Patterns = append(c.Patterns, cp)
+		out = append(out, cp)
 	}
-	return c, nil
+	return out
+}
+
+// collectPatterns appends every BGP leaf's compiled patterns in tree
+// (= global index) order.
+func collectPatterns(a *AlgNode, out []CompiledPattern) []CompiledPattern {
+	switch a.Kind {
+	case AlgBGP:
+		out = append(out, a.Compiled...)
+	case AlgJoin, AlgLeftJoin:
+		out = collectPatterns(a.Left, out)
+		out = collectPatterns(a.Right, out)
+	case AlgUnion:
+		for _, br := range a.Branches {
+			out = collectPatterns(br, out)
+		}
+	}
+	return out
 }
 
 // shareVar reports whether two patterns share at least one variable.

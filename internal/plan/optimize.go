@@ -15,12 +15,37 @@ const MaxDPPatterns = 13
 
 // Optimize returns the Cout-optimal join tree for c, computed by exact
 // dynamic programming over connected subproblems when the query has at most
-// MaxDPPatterns patterns, and by the greedy heuristic otherwise.
+// MaxDPPatterns patterns, and by the greedy heuristic otherwise. For
+// compositional-algebra queries the optimizer runs per BGP leaf; the tree
+// above the leaves is fixed by the query text.
 func Optimize(c *Compiled, est Model) (*Plan, error) {
+	if c.Alg != nil {
+		return planAlg(c, est, false)
+	}
 	if len(c.Patterns) <= MaxDPPatterns {
 		return optimizeDP(c, est)
 	}
 	return OptimizeGreedy(c, est)
+}
+
+// planAlg optimizes every BGP leaf of the algebra tree and wraps the
+// composed copy in a Plan with Root nil.
+func planAlg(c *Compiled, est Model, greedy bool) (*Plan, error) {
+	alg, err := optimizeAlg(c.Alg, c.Query, est, greedy)
+	if err != nil {
+		return nil, err
+	}
+	method := "dp"
+	if greedy {
+		method = "greedy"
+	}
+	return &Plan{
+		Alg:       alg,
+		EstCost:   alg.Cost,
+		EstCard:   alg.Card,
+		Signature: alg.Signature(),
+		Method:    method,
+	}, nil
 }
 
 type dpEntry struct {
@@ -141,6 +166,9 @@ func tieBreak(l, r *Node, best *dpEntry) bool {
 // Used directly in the greedy-vs-DP ablation and as the fallback for
 // queries beyond MaxDPPatterns.
 func OptimizeGreedy(c *Compiled, est Model) (*Plan, error) {
+	if c.Alg != nil {
+		return planAlg(c, est, true)
+	}
 	n := len(c.Patterns)
 	if n == 0 {
 		return nil, fmt.Errorf("plan: no patterns")

@@ -51,6 +51,19 @@ const (
 	// the whole binary join tree for eligible star/cyclic BGPs, so it
 	// never materializes binary intermediate results.
 	PhysLeapfrog
+	// PhysLeftJoin is a left outer hash join (OPTIONAL): a hash table is
+	// built on Right, Left rows stream through in order, matched rows emit
+	// every combination (build insertion order) and unmatched rows emit
+	// once with Right-only columns unbound (dict.None).
+	PhysLeftJoin
+	// PhysUnion concatenates its Kids in order, padding columns a branch
+	// does not bind with the unbound sentinel.
+	PhysUnion
+	// PhysAggregate groups Left's rows by the GroupBy columns (groups in
+	// first-occurrence order) and evaluates the Aggs over each group. With
+	// no GroupBy columns it emits exactly one global group, even over
+	// empty input.
+	PhysAggregate
 )
 
 // String names the operator for plan rendering.
@@ -78,6 +91,12 @@ func (op PhysOp) String() string {
 		return "Limit"
 	case PhysLeapfrog:
 		return "LeapfrogTrieJoin"
+	case PhysLeftJoin:
+		return "HashLeftJoin"
+	case PhysUnion:
+		return "Union"
+	case PhysAggregate:
+		return "HashAggregate"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -129,6 +148,9 @@ type PhysNode struct {
 	Card        float64            // estimated output cardinality (join/scan nodes)
 	Leaves      []*CompiledPattern // PhysLeapfrog: all patterns of the multiway join
 	TrieVars    []sparql.Var       // PhysLeapfrog: global variable order (trie levels)
+	Kids        []*PhysNode        // PhysUnion: branches, in syntactic order
+	GroupBy     []sparql.Var       // PhysAggregate: grouping keys (may be empty)
+	Aggs        []sparql.Aggregate // PhysAggregate: aggregates, in SELECT order
 
 	// ParallelSource marks this node as the top of a parallelism-eligible
 	// pipeline and names its partitionable source: the PhysIndexScan whose
@@ -187,6 +209,24 @@ func (n *PhysNode) render(b *strings.Builder, depth int) {
 		for _, cp := range n.Leaves {
 			fmt.Fprintf(b, " p%d %v", cp.Index, cp.Pat)
 		}
+	case PhysUnion:
+		fmt.Fprintf(b, " %d branches", len(n.Kids))
+	case PhysAggregate:
+		if len(n.GroupBy) > 0 {
+			b.WriteString(" by(")
+			for i, v := range n.GroupBy {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(b, "?%s", v)
+			}
+			b.WriteString(")")
+		} else {
+			b.WriteString(" global")
+		}
+		for _, a := range n.Aggs {
+			fmt.Fprintf(b, " %s", a)
+		}
 	}
 	fmt.Fprintf(b, " -> %v", n.Vars)
 	if n.ParallelSource != nil {
@@ -198,6 +238,9 @@ func (n *PhysNode) render(b *strings.Builder, depth int) {
 	}
 	if n.Right != nil {
 		n.Right.render(b, depth+1)
+	}
+	for _, k := range n.Kids {
+		k.render(b, depth+1)
 	}
 }
 
@@ -219,10 +262,13 @@ func (n *PhysNode) render(b *strings.Builder, depth int) {
 // executor applies them. Filters, ORDER BY keys and SELECT columns naming
 // variables absent from the covering schema are lowering errors.
 func Lower(c *Compiled, p *Plan, opts PhysOptions) (*Physical, error) {
-	if p == nil || p.Root == nil {
+	if p == nil || (p.Root == nil && p.Alg == nil) {
 		return nil, fmt.Errorf("plan: nil plan")
 	}
 	l := &lowerer{opts: opts}
+	if p.Alg != nil {
+		return l.lowerPhysicalAlg(c, p)
+	}
 	root, err := l.lower(p.Root)
 	if err != nil {
 		return nil, err
@@ -240,6 +286,159 @@ func Lower(c *Compiled, p *Plan, opts PhysOptions) (*Physical, error) {
 	return &Physical{Root: root, Options: opts}, nil
 }
 
+// lowerPhysicalAlg lowers a compositional-algebra plan. Group-scoped
+// filters are applied directly above the node that produced them (so
+// PushFilters pushdown is a no-op for algebra queries — group scoping
+// already fixes filter placement), then the epilogue appends aggregation,
+// HAVING and the standard tail.
+func (l *lowerer) lowerPhysicalAlg(c *Compiled, p *Plan) (*Physical, error) {
+	root, err := l.lowerAlg(c.Query, p.Alg)
+	if err != nil {
+		return nil, err
+	}
+	root, err = l.epilogueAlg(root, c.Query)
+	if err != nil {
+		return nil, err
+	}
+	markParallelPipelines(root)
+	return &Physical{Root: root, Options: l.opts}, nil
+}
+
+// lowerAlg lowers one algebra node, its subtree, and its attached filters.
+func (l *lowerer) lowerAlg(q *sparql.Query, a *AlgNode) (*PhysNode, error) {
+	var root *PhysNode
+	switch a.Kind {
+	case AlgBGP:
+		var err error
+		root, err = l.lower(a.Root)
+		if err != nil {
+			return nil, err
+		}
+		if l.opts.Leapfrog {
+			// Per-leaf gating: leapfrogNode reads only the Compiled's
+			// pattern list, so a synthetic Compiled scopes it to this leaf.
+			sub := &Compiled{Query: q, Patterns: a.Compiled}
+			if lf := leapfrogNode(sub, root); lf != nil {
+				root = lf
+			}
+		}
+	case AlgJoin:
+		lp, err := l.lowerAlg(q, a.Left)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := l.lowerAlg(q, a.Right)
+		if err != nil {
+			return nil, err
+		}
+		root = l.joinNode(lp, rp, a.Card)
+	case AlgLeftJoin:
+		lp, err := l.lowerAlg(q, a.Left)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := l.lowerAlg(q, a.Right)
+		if err != nil {
+			return nil, err
+		}
+		root = &PhysNode{
+			Op:    PhysLeftJoin,
+			Left:  lp,
+			Right: rp,
+			Vars:  joinSchema(lp.Vars, rp.Vars),
+			Card:  a.Card,
+		}
+	case AlgUnion:
+		un := &PhysNode{Op: PhysUnion, Card: a.Card}
+		for _, br := range a.Branches {
+			kid, err := l.lowerAlg(q, br)
+			if err != nil {
+				return nil, err
+			}
+			un.Kids = append(un.Kids, kid)
+			un.Vars = joinSchema(un.Vars, kid.Vars)
+		}
+		root = un
+	default:
+		return nil, fmt.Errorf("plan: unknown algebra node %v", a.Kind)
+	}
+	if len(a.Filters) > 0 {
+		for _, f := range a.Filters {
+			if err := checkFilterCovered(f, root.Vars); err != nil {
+				return nil, err
+			}
+		}
+		root = &PhysNode{Op: PhysFilter, Left: root, Vars: root.Vars, Filters: a.Filters, Card: root.Card}
+	}
+	return root, nil
+}
+
+// epilogueAlg appends the algebra epilogue: aggregation (grouping +
+// aggregates), HAVING, then ORDER BY, projection, DISTINCT and LIMIT in
+// the standard order. Root-group filters were already applied by
+// lowerAlg, so q.Filters is not reapplied here.
+func (l *lowerer) epilogueAlg(root *PhysNode, q *sparql.Query) (*PhysNode, error) {
+	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
+		for _, v := range q.GroupBy {
+			if varIndex(root.Vars, v) < 0 {
+				return nil, fmt.Errorf("plan: GROUP BY unbound variable ?%s", v)
+			}
+		}
+		vars := append([]sparql.Var(nil), q.GroupBy...)
+		for _, ag := range q.Aggs {
+			if ag.Var != "" && varIndex(root.Vars, ag.Var) < 0 {
+				return nil, fmt.Errorf("plan: aggregate over unbound variable ?%s", ag.Var)
+			}
+			if varIndex(vars, ag.As) >= 0 {
+				return nil, fmt.Errorf("plan: duplicate aggregate output ?%s", ag.As)
+			}
+			vars = append(vars, ag.As)
+		}
+		root = &PhysNode{
+			Op:      PhysAggregate,
+			Left:    root,
+			Vars:    vars,
+			GroupBy: append([]sparql.Var(nil), q.GroupBy...),
+			Aggs:    append([]sparql.Aggregate(nil), q.Aggs...),
+			Card:    root.Card,
+		}
+		if len(q.Having) > 0 {
+			for _, f := range q.Having {
+				if err := checkFilterCovered(f, root.Vars); err != nil {
+					return nil, err
+				}
+			}
+			root = &PhysNode{Op: PhysFilter, Left: root, Vars: root.Vars, Filters: q.Having, Card: root.Card}
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		for _, k := range q.OrderBy {
+			if varIndex(root.Vars, k.Var) < 0 {
+				return nil, fmt.Errorf("plan: ORDER BY unbound variable ?%s", k.Var)
+			}
+		}
+		root = &PhysNode{Op: PhysOrder, Left: root, Vars: root.Vars, Keys: q.OrderBy, Card: root.Card}
+	}
+	if len(q.Select) > 0 {
+		for _, v := range q.Select {
+			if varIndex(root.Vars, v) < 0 {
+				return nil, fmt.Errorf("plan: SELECT of unbound variable ?%s", v)
+			}
+		}
+		root = &PhysNode{Op: PhysProject, Left: root, Vars: append([]sparql.Var(nil), q.Select...), Card: root.Card}
+	}
+	if q.Distinct {
+		root = &PhysNode{Op: PhysDistinct, Left: root, Vars: root.Vars, Card: root.Card}
+	}
+	if limit, has := q.LimitCount(); has || q.Offset > 0 {
+		if !has {
+			limit = -1
+		}
+		root = &PhysNode{Op: PhysLimit, Left: root, Vars: root.Vars, Limit: limit, Offset: q.Offset, Card: root.Card}
+	}
+	return root, nil
+}
+
 // ParallelPipelines counts the parallelism-eligible pipelines of the plan —
 // the nodes carrying a ParallelSource annotation.
 func (p *Physical) ParallelPipelines() int {
@@ -252,7 +451,11 @@ func (p *Physical) ParallelPipelines() int {
 		if n.ParallelSource != nil {
 			c = 1
 		}
-		return c + count(n.Left) + count(n.Right)
+		c += count(n.Left) + count(n.Right)
+		for _, k := range n.Kids {
+			c += count(k)
+		}
+		return c
 	}
 	return count(p.Root)
 }
@@ -303,6 +506,9 @@ func markParallelPipelines(n *PhysNode) {
 	}
 	markParallelPipelines(n.Left)
 	markParallelPipelines(n.Right)
+	for _, k := range n.Kids {
+		markParallelPipelines(k)
+	}
 }
 
 type lowerer struct {

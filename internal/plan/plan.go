@@ -83,9 +83,11 @@ func (n *Node) render(b *strings.Builder, depth int) {
 	n.Right.render(b, depth+1)
 }
 
-// Plan is the result of optimization.
+// Plan is the result of optimization. Exactly one of Root (flat BGP
+// queries) and Alg (compositional-algebra queries) is non-nil.
 type Plan struct {
 	Root      *Node
+	Alg       *AlgNode
 	EstCost   float64 // estimated Cout of the whole plan
 	EstCard   float64 // estimated result cardinality
 	Signature string  // canonical plan identity
@@ -94,6 +96,14 @@ type Plan struct {
 
 // String renders the plan.
 func (p *Plan) String() string {
+	var body string
+	if p.Alg != nil {
+		var b strings.Builder
+		p.Alg.render(&b, 0)
+		body = b.String()
+	} else {
+		body = p.Root.String()
+	}
 	return fmt.Sprintf("plan[%s] cost=%.1f card=%.1f sig=%s\n%s",
-		p.Method, p.EstCost, p.EstCard, p.Signature, p.Root)
+		p.Method, p.EstCost, p.EstCard, p.Signature, body)
 }

@@ -194,6 +194,9 @@ type kernelCounters struct {
 	gatherRows    atomic.Uint64
 	leapfrogSeeks atomic.Uint64
 	leapfrogRows  atomic.Uint64
+	leftJoinRows  atomic.Uint64
+	unionRows     atomic.Uint64
+	aggGroups     atomic.Uint64
 }
 
 func (k *kernelCounters) add(ks exec.KernelStats) {
@@ -207,6 +210,9 @@ func (k *kernelCounters) add(ks exec.KernelStats) {
 	k.gatherRows.Add(uint64(ks.GatherRows))
 	k.leapfrogSeeks.Add(uint64(ks.LeapfrogSeeks))
 	k.leapfrogRows.Add(uint64(ks.LeapfrogRows))
+	k.leftJoinRows.Add(uint64(ks.LeftJoinRows))
+	k.unionRows.Add(uint64(ks.UnionRows))
+	k.aggGroups.Add(uint64(ks.AggGroups))
 }
 
 // Service is the concurrent query service. Create one with New; all methods
@@ -347,7 +353,9 @@ type UpdateResult struct {
 	Compacted bool `json:"compacted"`
 }
 
-// Update parses text as SPARQL-Update (INSERT DATA / DELETE DATA) and
+// Update parses text as SPARQL-Update (ground INSERT DATA / DELETE DATA
+// and pattern-driven DELETE/INSERT WHERE, whose WHERE blocks run against
+// the current snapshot plus the preceding operations of the request) and
 // publishes the result as the next snapshot generation, MVCC-style:
 // in-flight queries finish against the snapshot they pinned; new queries
 // see the new one. Small deltas are published as overlay snapshots (the
@@ -370,7 +378,7 @@ func (s *Service) Update(ctx context.Context, text string) (res *UpdateResult, e
 	defer s.swapMu.Unlock()
 	cur := s.state.Load()
 	d0 := cur.store.NewDelta()
-	d, err := d0.ApplyOps(exec.DeltaOps(u))
+	d, err := exec.ApplyUpdateDelta(d0, u)
 	if err != nil {
 		return nil, badInput(err)
 	}
@@ -525,14 +533,20 @@ type Outcome struct {
 func (o *Outcome) DecodedRows() [][]string { return o.decodeRows(o.Result.Rows) }
 
 // decodeRows decodes a (possibly truncated) slice of the outcome's rows, so
-// response rendering never pays for rows it will not ship.
+// response rendering never pays for rows it will not ship. Unbound cells
+// (the dict.None sentinel left by OPTIONAL) render as "UNDEF", matching
+// the SPARQL results vocabulary.
 func (o *Outcome) decodeRows(rows [][]dict.ID) [][]string {
 	d := o.Store.Dict()
 	out := make([][]string, len(rows))
 	for i, row := range rows {
 		cells := make([]string, len(row))
 		for j, id := range row {
-			cells[j] = d.Decode(id).String()
+			if t, ok := d.TryDecode(id); ok {
+				cells[j] = t.String()
+			} else {
+				cells[j] = "UNDEF"
+			}
 		}
 		out[i] = cells
 	}
@@ -755,8 +769,11 @@ type ParallelStats struct {
 	MaxWorkers  uint64  `json:"max_workers"`
 }
 
-// KernelStats are the cumulative columnar kernel counters aggregated from
-// every query since startup (all zero when the service runs a row engine).
+// KernelStats are the cumulative kernel counters aggregated from every
+// query since startup. Most are columnar-engine telemetry (all zero when
+// the service runs a row engine); LeftJoinRows, UnionRows and AggGroups
+// are logical algebra-operator counts maintained identically by the
+// streaming and columnar engines.
 type KernelStats struct {
 	Batches       uint64 `json:"batches"`
 	FilterRows    uint64 `json:"filter_rows"`
@@ -765,6 +782,9 @@ type KernelStats struct {
 	GatherRows    uint64 `json:"gather_rows"`
 	LeapfrogSeeks uint64 `json:"leapfrog_seeks"`
 	LeapfrogRows  uint64 `json:"leapfrog_rows"`
+	LeftJoinRows  uint64 `json:"left_join_rows"`
+	UnionRows     uint64 `json:"union_rows"`
+	AggGroups     uint64 `json:"agg_groups"`
 }
 
 // EngineStats name the configured execution engine and its kernel
@@ -883,6 +903,9 @@ func (s *Service) Stats() Stats {
 				GatherRows:    s.kern.gatherRows.Load(),
 				LeapfrogSeeks: s.kern.leapfrogSeeks.Load(),
 				LeapfrogRows:  s.kern.leapfrogRows.Load(),
+				LeftJoinRows:  s.kern.leftJoinRows.Load(),
+				UnionRows:     s.kern.unionRows.Load(),
+				AggGroups:     s.kern.aggGroups.Load(),
 			},
 		},
 		Prepared: s.PreparedNames(),

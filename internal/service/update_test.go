@@ -355,3 +355,63 @@ func TestUpdateQueryReloadRace(t *testing.T) {
 		t.Fatalf("test meant to exercise auto-compaction: %+v", st.Updates)
 	}
 }
+
+func TestServiceUpdateWhere(t *testing.T) {
+	svc := New(buildTinyStore(t), "tiny", Options{})
+	ctx := context.Background()
+
+	// Pattern-driven modification: retire alice's outgoing edges and
+	// mark the removed peers, with the WHERE running against the current
+	// snapshot under the same swap lock as ground updates.
+	res, err := svc.Update(ctx, `
+		DELETE { <http://x/alice> <http://x/knows> ?q . }
+		INSERT { ?q <http://x/orphaned> "true" . }
+		WHERE { <http://x/alice> <http://x/knows> ?q . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PendingDeletes != 2 || res.PendingInserts != 2 {
+		t.Fatalf("pending = %d/%d, want 2/2", res.PendingInserts, res.PendingDeletes)
+	}
+	out, err := svc.Query(ctx, probeQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Rows) != 1 {
+		t.Fatalf("knows rows after delete-where = %d, want 1", len(out.Result.Rows))
+	}
+	out, err = svc.Query(ctx, `SELECT ?q WHERE { ?q <http://x/orphaned> "true" . } ORDER BY ?q`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Rows) != 2 {
+		t.Fatalf("orphaned rows = %d, want 2", len(out.Result.Rows))
+	}
+	// A WHERE op matching nothing publishes no new generation.
+	gen := svc.Generation()
+	res, err = svc.Update(ctx, `DELETE WHERE { ?s <http://x/nosuch> ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != gen || svc.Generation() != gen {
+		t.Fatalf("no-match WHERE update published generation %d (was %d)", res.Generation, gen)
+	}
+}
+
+func TestServiceStatsAlgebraKernels(t *testing.T) {
+	svc := New(buildTinyStore(t), "tiny", Options{})
+	ctx := context.Background()
+	for _, q := range []string{
+		`SELECT ?s ?a WHERE { ?s <http://x/knows> ?o . OPTIONAL { ?o <http://x/age> ?a . } }`,
+		`SELECT ?s WHERE { { ?s <http://x/knows> ?o . } UNION { ?s <http://x/age> ?a . } }`,
+		`SELECT ?o (COUNT(*) AS ?n) WHERE { ?s <http://x/knows> ?o . } GROUP BY ?o`,
+	} {
+		if _, err := svc.Query(ctx, q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := svc.Stats().Engine.Kernels
+	if k.LeftJoinRows == 0 || k.UnionRows == 0 || k.AggGroups == 0 {
+		t.Fatalf("algebra kernel counters not wired: %+v", k)
+	}
+}

@@ -41,8 +41,22 @@ SELECT ?person WHERE {
   ?person sn:livesIn %Country .
 }`
 
+// QueryQ4Text is the grouped-counts template: posts per friend of
+// %Person, grouped and filtered on the group size — LDBC's "friend
+// activity" shape expressed with the compositional algebra (GROUP BY +
+// COUNT + HAVING). The materializing baseline rejects it.
+const QueryQ4Text = `
+PREFIX sn: <http://snb.example.org/>
+SELECT ?friend (COUNT(*) AS ?n) WHERE {
+  %Person sn:knows ?friend .
+  ?post sn:hasCreator ?friend .
+} GROUP BY ?friend HAVING(?n >= 1) ORDER BY ?friend`
+
 // Q2 returns the parsed Q2 template.
 func Q2() *sparql.Query { return sparql.MustParse(QueryQ2Text) }
+
+// Q4 returns the parsed Q4 (grouped friend activity) template.
+func Q4() *sparql.Query { return sparql.MustParse(QueryQ4Text) }
 
 // Q3 returns the parsed Q3 template.
 func Q3() *sparql.Query { return sparql.MustParse(QueryQ3Text) }

@@ -1,0 +1,185 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file holds the compositional-algebra side of the AST: group graph
+// patterns (OPTIONAL, UNION) and aggregation (GROUP BY, aggregate
+// functions, HAVING). A query without any of these is a flat BGP and
+// flows through the legacy fields of Query unchanged.
+//
+// The subset keeps SPARQL's algebra shape but fixes a deterministic
+// normal form: a group is its BGP joined with every UNION block (in
+// syntactic order), then left-joined with every OPTIONAL group (in
+// syntactic order), then filtered by the group's FILTERs. A bare nested
+// `{ ... }` that is not a UNION branch is merged into its enclosing
+// group at parse time, so rendering and re-parsing are a fixpoint.
+
+// Group is a group graph pattern: a basic graph pattern plus nested
+// UNION and OPTIONAL sub-groups and group-scoped filters.
+type Group struct {
+	Patterns  []TriplePattern
+	Filters   []Filter
+	Unions    []*Union // joined with the BGP, in order
+	Optionals []*Group // left-joined after the joins, in order
+}
+
+// Union is an n-way alternative of group graph patterns
+// ({A} UNION {B} UNION ...).
+type Union struct {
+	Branches []*Group // always 2+
+}
+
+// Empty reports whether the group binds nothing at all.
+func (g *Group) Empty() bool {
+	return len(g.Patterns) == 0 && len(g.Unions) == 0 && len(g.Optionals) == 0
+}
+
+// walkNodes visits every Node of the group, recursively.
+func (g *Group) walkNodes(visit func(Node)) {
+	for _, tp := range g.Patterns {
+		visit(tp.S)
+		visit(tp.P)
+		visit(tp.O)
+	}
+	for _, f := range g.Filters {
+		visit(f.Left)
+		visit(f.Right)
+	}
+	for _, u := range g.Unions {
+		for _, br := range u.Branches {
+			br.walkNodes(visit)
+		}
+	}
+	for _, o := range g.Optionals {
+		o.walkNodes(visit)
+	}
+}
+
+// Vars returns the distinct variables of the group in first-mention
+// order (patterns, filters, unions, optionals).
+func (g *Group) Vars() []Var {
+	seen := map[Var]bool{}
+	var out []Var
+	g.walkNodes(func(n Node) {
+		if n.Kind == NodeVar && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	})
+	return out
+}
+
+// bind returns a deep copy of g with parameters substituted.
+func (g *Group) bind(b Binding) (*Group, error) {
+	out := &Group{}
+	var err error
+	if out.Patterns, err = bindPatterns(g.Patterns, b); err != nil {
+		return nil, err
+	}
+	if out.Filters, err = bindFilters(g.Filters, b); err != nil {
+		return nil, err
+	}
+	for _, u := range g.Unions {
+		bu := &Union{}
+		for _, br := range u.Branches {
+			bb, err := br.bind(b)
+			if err != nil {
+				return nil, err
+			}
+			bu.Branches = append(bu.Branches, bb)
+		}
+		out.Unions = append(out.Unions, bu)
+	}
+	for _, o := range g.Optionals {
+		bo, err := o.bind(b)
+		if err != nil {
+			return nil, err
+		}
+		out.Optionals = append(out.Optionals, bo)
+	}
+	return out, nil
+}
+
+// render writes the group body (without the surrounding braces) at the
+// given indentation depth, in the canonical order patterns, unions,
+// optionals, filters.
+func (g *Group) render(b *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, tp := range g.Patterns {
+		b.WriteString(ind + tp.String() + "\n")
+	}
+	for _, u := range g.Unions {
+		b.WriteString(ind)
+		for i, br := range u.Branches {
+			if i > 0 {
+				b.WriteString(" UNION ")
+			}
+			b.WriteString("{\n")
+			br.render(b, depth+1)
+			b.WriteString(ind + "}")
+		}
+		b.WriteString("\n")
+	}
+	for _, o := range g.Optionals {
+		b.WriteString(ind + "OPTIONAL {\n")
+		o.render(b, depth+1)
+		b.WriteString(ind + "}\n")
+	}
+	for _, f := range g.Filters {
+		b.WriteString(ind + f.String() + "\n")
+	}
+}
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota // COUNT(*) when Var is empty
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String renders the function keyword.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// Aggregate is one aggregate of the SELECT clause, always aliased:
+// (COUNT(*) AS ?n), (SUM(?x) AS ?total), (COUNT(DISTINCT ?v) AS ?d).
+type Aggregate struct {
+	Func     AggFunc
+	Distinct bool // COUNT(DISTINCT ?v) only
+	Var      Var  // argument variable; empty means '*' (COUNT only)
+	As       Var  // output alias
+}
+
+// String renders the aggregate as it appears in SELECT.
+func (a Aggregate) String() string {
+	arg := "*"
+	if a.Var != "" {
+		arg = "?" + string(a.Var)
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return fmt.Sprintf("(%s(%s) AS ?%s)", a.Func, arg, a.As)
+}

@@ -146,18 +146,58 @@ type OrderKey struct {
 
 // Query is a parsed SELECT query. A Query whose Params() is non-empty is a
 // template and cannot be executed until bound.
+//
+// Where and Filters hold the root group's basic graph pattern; Unions,
+// Optionals, GroupBy, Aggs and Having are the compositional-algebra
+// extensions (see algebra.go) and stay empty for flat BGP queries, so
+// code constructing Query literals for conjunctive shapes is unaffected.
 type Query struct {
 	Distinct bool
-	Select   []Var // empty means SELECT *
+	Select   []Var // empty means SELECT *; includes aggregate aliases
 	Where    []TriplePattern
 	Filters  []Filter
-	OrderBy  []OrderKey
-	Limit    int // with HasLimit false, 0 means no limit (legacy literals)
+	// Unions are joined with the root BGP in order; Optionals are
+	// left-joined afterwards in order (the group normal form of
+	// algebra.go).
+	Unions    []*Union
+	Optionals []*Group
+	// GroupBy/Aggs/Having describe aggregation over the WHERE result.
+	// Every aggregate's alias also appears in Select at its projection
+	// position.
+	GroupBy []Var
+	Aggs    []Aggregate
+	Having  []Filter
+	OrderBy []OrderKey
+	Limit   int // with HasLimit false, 0 means no limit (legacy literals)
 	// HasLimit distinguishes an explicit LIMIT 0 (empty result) from no
 	// LIMIT at all. The parser always sets it; code constructing Query
 	// literals may keep using Limit > 0 alone.
 	HasLimit bool
 	Offset   int // rows to skip before the limit; 0 means none
+}
+
+// Root returns the root group graph pattern view of the query's WHERE
+// clause.
+func (q *Query) Root() *Group {
+	return &Group{Patterns: q.Where, Filters: q.Filters, Unions: q.Unions, Optionals: q.Optionals}
+}
+
+// HasAlgebra reports whether the query uses any compositional-algebra
+// construct (OPTIONAL, UNION, GROUP BY, aggregates, HAVING) beyond the
+// flat BGP + FILTER shape.
+func (q *Query) HasAlgebra() bool {
+	return len(q.Unions) > 0 || len(q.Optionals) > 0 ||
+		len(q.GroupBy) > 0 || len(q.Aggs) > 0 || len(q.Having) > 0
+}
+
+// aggFor returns the aggregate whose alias is v, if any.
+func (q *Query) aggFor(v Var) (Aggregate, bool) {
+	for _, a := range q.Aggs {
+		if a.As == v {
+			return a, true
+		}
+	}
+	return Aggregate{}, false
 }
 
 // LimitCount returns the effective limit and whether one applies: an
@@ -170,44 +210,26 @@ func (q *Query) LimitCount() (int, bool) {
 	return 0, false
 }
 
-// Vars returns all distinct variables mentioned in the WHERE clause.
+// Vars returns all distinct variables mentioned in the WHERE clause,
+// including nested UNION and OPTIONAL groups.
 func (q *Query) Vars() []Var {
-	seen := map[Var]bool{}
-	var out []Var
-	add := func(n Node) {
-		if n.Kind == NodeVar && !seen[n.Var] {
-			seen[n.Var] = true
-			out = append(out, n.Var)
-		}
-	}
-	for _, tp := range q.Where {
-		add(tp.S)
-		add(tp.P)
-		add(tp.O)
-	}
-	for _, f := range q.Filters {
-		add(f.Left)
-		add(f.Right)
-	}
-	return out
+	return q.Root().Vars()
 }
 
 // Params returns the distinct parameter names in the query, sorted.
 func (q *Query) Params() []Param {
 	seen := map[Param]bool{}
-	add := func(n Node) {
+	q.Root().walkNodes(func(n Node) {
 		if n.Kind == NodeParam {
 			seen[n.Param] = true
 		}
-	}
-	for _, tp := range q.Where {
-		add(tp.S)
-		add(tp.P)
-		add(tp.O)
-	}
-	for _, f := range q.Filters {
-		add(f.Left)
-		add(f.Right)
+	})
+	for _, f := range q.Having {
+		for _, n := range []Node{f.Left, f.Right} {
+			if n.Kind == NodeParam {
+				seen[n.Param] = true
+			}
+		}
 	}
 	out := make([]Param, 0, len(seen))
 	for p := range seen {
@@ -220,52 +242,79 @@ func (q *Query) Params() []Param {
 // Binding maps parameter names to concrete terms.
 type Binding map[Param]rdf.Term
 
+// substNode replaces a parameter node with its bound term.
+func substNode(n Node, b Binding) (Node, error) {
+	if n.Kind != NodeParam {
+		return n, nil
+	}
+	t, ok := b[n.Param]
+	if !ok {
+		return Node{}, fmt.Errorf("sparql: unbound parameter %%%s", n.Param)
+	}
+	return TermNode(t), nil
+}
+
+// bindPatterns deep-copies patterns with parameters substituted.
+func bindPatterns(pats []TriplePattern, b Binding) ([]TriplePattern, error) {
+	var out []TriplePattern
+	for _, tp := range pats {
+		s, err := substNode(tp.S, b)
+		if err != nil {
+			return nil, err
+		}
+		p, err := substNode(tp.P, b)
+		if err != nil {
+			return nil, err
+		}
+		o, err := substNode(tp.O, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TriplePattern{S: s, P: p, O: o})
+	}
+	return out, nil
+}
+
+// bindFilters deep-copies filters with parameters substituted.
+func bindFilters(fs []Filter, b Binding) ([]Filter, error) {
+	var out []Filter
+	for _, f := range fs {
+		l, err := substNode(f.Left, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substNode(f.Right, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Filter{Left: l, Op: f.Op, Right: r})
+	}
+	return out, nil
+}
+
 // Bind returns a copy of q with every parameter replaced by its binding.
 // It fails if any parameter is missing from b; extra bindings are ignored.
 func (q *Query) Bind(b Binding) (*Query, error) {
-	subst := func(n Node) (Node, error) {
-		if n.Kind != NodeParam {
-			return n, nil
-		}
-		t, ok := b[n.Param]
-		if !ok {
-			return Node{}, fmt.Errorf("sparql: unbound parameter %%%s", n.Param)
-		}
-		return TermNode(t), nil
-	}
 	out := &Query{
 		Distinct: q.Distinct,
 		Select:   append([]Var(nil), q.Select...),
+		GroupBy:  append([]Var(nil), q.GroupBy...),
+		Aggs:     append([]Aggregate(nil), q.Aggs...),
 		OrderBy:  append([]OrderKey(nil), q.OrderBy...),
 		Limit:    q.Limit,
 		HasLimit: q.HasLimit,
 		Offset:   q.Offset,
 	}
-	for _, tp := range q.Where {
-		s, err := subst(tp.S)
-		if err != nil {
-			return nil, err
-		}
-		p, err := subst(tp.P)
-		if err != nil {
-			return nil, err
-		}
-		o, err := subst(tp.O)
-		if err != nil {
-			return nil, err
-		}
-		out.Where = append(out.Where, TriplePattern{S: s, P: p, O: o})
+	root, err := q.Root().bind(b)
+	if err != nil {
+		return nil, err
 	}
-	for _, f := range q.Filters {
-		l, err := subst(f.Left)
-		if err != nil {
-			return nil, err
-		}
-		r, err := subst(f.Right)
-		if err != nil {
-			return nil, err
-		}
-		out.Filters = append(out.Filters, Filter{Left: l, Op: f.Op, Right: r})
+	out.Where = root.Patterns
+	out.Filters = root.Filters
+	out.Unions = root.Unions
+	out.Optionals = root.Optionals
+	if out.Having, err = bindFilters(q.Having, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -284,17 +333,32 @@ func (q *Query) String() string {
 			if i > 0 {
 				b.WriteByte(' ')
 			}
-			b.WriteString("?" + string(v))
+			if a, ok := q.aggFor(v); ok {
+				b.WriteString(a.String())
+			} else {
+				b.WriteString("?" + string(v))
+			}
 		}
 	}
 	b.WriteString(" WHERE {\n")
-	for _, tp := range q.Where {
-		b.WriteString("  " + tp.String() + "\n")
-	}
-	for _, f := range q.Filters {
-		b.WriteString("  " + f.String() + "\n")
-	}
+	q.Root().render(&b, 1)
 	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY")
+		for _, v := range q.GroupBy {
+			b.WriteString(" ?" + string(v))
+		}
+	}
+	if len(q.Having) > 0 {
+		b.WriteString(" HAVING(")
+		for i, f := range q.Having {
+			if i > 0 {
+				b.WriteString(" && ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", f.Left, f.Op, f.Right)
+		}
+		b.WriteString(")")
+	}
 	if len(q.OrderBy) > 0 {
 		b.WriteString(" ORDER BY")
 		for _, k := range q.OrderBy {

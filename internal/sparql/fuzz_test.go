@@ -14,6 +14,12 @@ func FuzzParseQuery(f *testing.F) {
 		`SELECT * WHERE {`,
 		`WHERE { ?s ?p ?o . }`,
 		`SELECT * WHERE { ?s ?p ?o . } LIMIT -1`,
+		`SELECT * WHERE { ?s <http://x/p> ?o . OPTIONAL { ?o <http://x/q> ?v . FILTER(?v > 3) } }`,
+		`SELECT * WHERE { { ?s <http://x/p> ?o . } UNION { ?s <http://x/q> ?o . } UNION { ?o <http://x/r> ?s . } }`,
+		`SELECT ?s (COUNT(*) AS ?n) (SUM(?v) AS ?t) WHERE { ?s <http://x/p> ?v . } GROUP BY ?s HAVING(?n >= 2) ORDER BY ?s`,
+		`SELECT (COUNT(DISTINCT ?o) AS ?n) (AVG(?o) AS ?a) (MIN(?o) AS ?lo) (MAX(?o) AS ?hi) WHERE { ?s ?p ?o . }`,
+		`SELECT * WHERE { ?a <http://x/p> ?b . OPTIONAL { { ?b <http://x/q> ?c . } UNION { ?b <http://x/r> ?c . } } }`,
+		`SELECT * WHERE { OPTIONAL { ?s ?p ?o . } }`,
 		"# only a comment",
 		"",
 	}
@@ -47,6 +53,11 @@ func FuzzParseUpdate(f *testing.F) {
 		`INSERT DATA { ?s <http://x/p> <http://x/o> . }`,
 		`INSERT DATA { <http://x/s> <http://x/p> <http://x/o> .`,
 		`INSERT { <http://x/s> <http://x/p> <http://x/o> . }`,
+		`DELETE WHERE { ?s <http://x/p> ?o . }`,
+		`INSERT { ?o <http://x/q> ?s . } WHERE { ?s <http://x/p> ?o . FILTER(?o != <http://x/s>) }`,
+		`DELETE { ?s <http://x/p> ?o . } INSERT { ?s <http://x/q> ?o . } WHERE { ?s <http://x/p> ?o . }`,
+		`DELETE { ?s <http://x/p> ?v . } WHERE { ?s <http://x/p> ?o . }`,
+		`INSERT { ?s <http://x/p> ?o . } WHERE { OPTIONAL { ?s ?p ?o . } }`,
 		`SELECT * WHERE { ?s ?p ?o . }`,
 		"",
 	}

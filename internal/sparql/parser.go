@@ -11,19 +11,29 @@ import (
 // Parse parses a SPARQL-subset query text, possibly containing %param
 // placeholders. The grammar:
 //
-//	query    := prefix* "SELECT" "DISTINCT"? ("*" | var+) "WHERE"? "{" block "}" order? slice
+//	query    := prefix* "SELECT" "DISTINCT"? proj "WHERE"? "{" block "}"
+//	            groupby? having? order? slice
 //	prefix   := "PREFIX" PNAME IRIREF
-//	block    := (triples | filter)*
+//	proj     := "*" | (var | aggregate)+
+//	aggregate:= "(" func "(" ("*" | "DISTINCT"? var) ")" "AS" var ")"
+//	func     := "COUNT" | "SUM" | "MIN" | "MAX" | "AVG"
+//	block    := (triples | filter | optional | union)*
+//	optional := "OPTIONAL" "{" block "}"
+//	union    := "{" block "}" ("UNION" "{" block "}")*
 //	triples  := node predobj (";" predobj)* "."
 //	predobj  := node node ("," node)*
 //	filter   := "FILTER" "(" cmp ("&&" cmp)* ")"
 //	cmp      := node OP node
+//	groupby  := "GROUP" "BY" var+
+//	having   := "HAVING" "(" cmp ("&&" cmp)* ")"
 //	order    := "ORDER" "BY" key+
 //	key      := var | "ASC" "(" var ")" | "DESC" "(" var ")"
 //	slice    := ("LIMIT" integer | "OFFSET" integer)*   (each at most once)
 //
 // where node is an IRI, prefixed name, literal, number, variable or %param.
-// The 'a' keyword abbreviates rdf:type as in Turtle/SPARQL.
+// The 'a' keyword abbreviates rdf:type as in Turtle/SPARQL. A bare nested
+// group that is not a UNION branch is merged into its enclosing group
+// (the filters-at-group-level normal form documented in algebra.go).
 func Parse(src string) (*Query, error) {
 	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}}
 	if err := p.advance(); err != nil {
@@ -105,20 +115,31 @@ func (p *parser) query() (*Query, error) {
 			return nil, err
 		}
 	}
-	if p.tok.kind != tokLBrace {
-		return nil, p.errf("expected '{'")
-	}
-	if err := p.advance(); err != nil {
+	root, err := p.group(0)
+	if err != nil {
 		return nil, err
 	}
-	if err := p.block(q); err != nil {
-		return nil, err
+	q.Where = root.Patterns
+	q.Filters = root.Filters
+	q.Unions = root.Unions
+	q.Optionals = root.Optionals
+	if p.isKeyword("GROUP") {
+		if err := p.groupBy(q); err != nil {
+			return nil, err
+		}
 	}
-	if p.tok.kind != tokRBrace {
-		return nil, p.errf("expected '}'")
-	}
-	if err := p.advance(); err != nil {
-		return nil, err
+	if p.isKeyword("HAVING") {
+		if len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+			return nil, p.errf("HAVING requires GROUP BY or an aggregate")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		having, err := p.compareList()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = having
 	}
 	if p.isKeyword("ORDER") {
 		if err := p.orderBy(q); err != nil {
@@ -154,10 +175,73 @@ func (p *parser) query() (*Query, error) {
 			return nil, err
 		}
 	}
-	if len(q.Where) == 0 {
-		return nil, p.errf("empty WHERE clause")
+	if err := p.validate(q); err != nil {
+		return nil, err
 	}
 	return q, nil
+}
+
+// validate enforces the structural rules that make a parsed query
+// executable: a non-empty root group and well-formed aggregation.
+func (p *parser) validate(q *Query) error {
+	if len(q.Where) == 0 && len(q.Unions) == 0 {
+		if len(q.Optionals) > 0 {
+			return p.errf("OPTIONAL requires a preceding pattern in the group")
+		}
+		return p.errf("empty WHERE clause")
+	}
+	if len(q.Aggs) == 0 && len(q.GroupBy) == 0 {
+		return nil
+	}
+	if len(q.Select) == 0 {
+		return p.errf("SELECT * cannot be combined with GROUP BY or aggregates")
+	}
+	keys := map[Var]bool{}
+	for _, v := range q.GroupBy {
+		keys[v] = true
+	}
+	aliases := map[Var]bool{}
+	for _, a := range q.Aggs {
+		aliases[a.As] = true
+	}
+	for _, v := range q.Select {
+		if !aliases[v] && !keys[v] {
+			return p.errf("SELECT variable ?%s must be a GROUP BY key or an aggregate alias", v)
+		}
+	}
+	for _, f := range q.Having {
+		for _, n := range []Node{f.Left, f.Right} {
+			if n.Kind == NodeVar && !aliases[n.Var] && !keys[n.Var] {
+				return p.errf("HAVING variable ?%s must be a GROUP BY key or an aggregate alias", n.Var)
+			}
+		}
+	}
+	for _, k := range q.OrderBy {
+		if !aliases[k.Var] && !keys[k.Var] {
+			return p.errf("ORDER BY variable ?%s must be a GROUP BY key or an aggregate alias", k.Var)
+		}
+	}
+	return nil
+}
+
+// groupBy parses "GROUP BY var+".
+func (p *parser) groupBy(q *Query) error {
+	if err := p.advance(); err != nil { // GROUP
+		return err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return err
+	}
+	for p.tok.kind == tokVar {
+		q.GroupBy = append(q.GroupBy, Var(p.tok.text))
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if len(q.GroupBy) == 0 {
+		return p.errf("expected variable after GROUP BY")
+	}
+	return nil
 }
 
 func (p *parser) prefixDecl() error {
@@ -182,38 +266,212 @@ func (p *parser) projection(q *Query) error {
 	if p.tok.kind == tokStar {
 		return p.advance()
 	}
-	if p.tok.kind != tokVar {
-		return p.errf("expected '*' or variables in SELECT")
+	if p.tok.kind != tokVar && p.tok.kind != tokLParen {
+		return p.errf("expected '*', variables or aggregates in SELECT")
 	}
-	for p.tok.kind == tokVar {
-		q.Select = append(q.Select, Var(p.tok.text))
-		if err := p.advance(); err != nil {
-			return err
+	for {
+		switch p.tok.kind {
+		case tokVar:
+			q.Select = append(q.Select, Var(p.tok.text))
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case tokLParen:
+			a, err := p.aggregate()
+			if err != nil {
+				return err
+			}
+			for _, prev := range q.Aggs {
+				if prev.As == a.As {
+					return p.errf("duplicate aggregate alias ?%s", a.As)
+				}
+			}
+			q.Aggs = append(q.Aggs, a)
+			q.Select = append(q.Select, a.As)
+		default:
+			return nil
 		}
 	}
-	return nil
 }
 
-func (p *parser) block(q *Query) error {
+// aggregate parses "( FUNC ( '*' | DISTINCT? var ) AS var )" with the
+// opening parenthesis current.
+func (p *parser) aggregate() (Aggregate, error) {
+	var a Aggregate
+	if err := p.advance(); err != nil { // '('
+		return a, err
+	}
+	switch {
+	case p.isKeyword("COUNT"):
+		a.Func = AggCount
+	case p.isKeyword("SUM"):
+		a.Func = AggSum
+	case p.isKeyword("MIN"):
+		a.Func = AggMin
+	case p.isKeyword("MAX"):
+		a.Func = AggMax
+	case p.isKeyword("AVG"):
+		a.Func = AggAvg
+	default:
+		return a, p.errf("expected aggregate function (COUNT, SUM, MIN, MAX, AVG)")
+	}
+	if err := p.advance(); err != nil {
+		return a, err
+	}
+	if p.tok.kind != tokLParen {
+		return a, p.errf("expected '(' after %s", a.Func)
+	}
+	if err := p.advance(); err != nil {
+		return a, err
+	}
+	if p.isKeyword("DISTINCT") {
+		if a.Func != AggCount {
+			return a, p.errf("DISTINCT is only supported inside COUNT")
+		}
+		a.Distinct = true
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	}
+	switch {
+	case p.tok.kind == tokStar:
+		if a.Func != AggCount {
+			return a, p.errf("'*' is only valid in COUNT(*)")
+		}
+		if a.Distinct {
+			return a, p.errf("COUNT(DISTINCT *) is not supported")
+		}
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	case p.tok.kind == tokVar:
+		a.Var = Var(p.tok.text)
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	default:
+		return a, p.errf("expected '*' or variable in %s(...)", a.Func)
+	}
+	if p.tok.kind != tokRParen {
+		return a, p.errf("expected ')' to close %s(...)", a.Func)
+	}
+	if err := p.advance(); err != nil {
+		return a, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return a, err
+	}
+	if p.tok.kind != tokVar {
+		return a, p.errf("expected alias variable after AS")
+	}
+	a.As = Var(p.tok.text)
+	if err := p.advance(); err != nil {
+		return a, err
+	}
+	if p.tok.kind != tokRParen {
+		return a, p.errf("expected ')' to close the aggregate")
+	}
+	return a, p.advance()
+}
+
+// maxGroupDepth bounds group nesting so adversarial inputs cannot blow
+// the parser stack.
+const maxGroupDepth = 32
+
+// group parses "{" block "}" into a Group.
+func (p *parser) group(depth int) (*Group, error) {
+	if depth > maxGroupDepth {
+		return nil, p.errf("group nesting deeper than %d", maxGroupDepth)
+	}
+	if p.tok.kind != tokLBrace {
+		return nil, p.errf("expected '{'")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	if err := p.block(g, depth); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRBrace {
+		return nil, p.errf("expected '}'")
+	}
+	return g, p.advance()
+}
+
+func (p *parser) block(g *Group, depth int) error {
 	for {
 		switch {
 		case p.tok.kind == tokRBrace:
 			return nil
 		case p.isKeyword("FILTER"):
-			if err := p.filter(q); err != nil {
+			if err := p.filter(g); err != nil {
+				return err
+			}
+		case p.isKeyword("OPTIONAL"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			og, err := p.group(depth + 1)
+			if err != nil {
+				return err
+			}
+			if og.Empty() {
+				return p.errf("empty OPTIONAL group")
+			}
+			g.Optionals = append(g.Optionals, og)
+		case p.tok.kind == tokLBrace:
+			if err := p.groupOrUnion(g, depth); err != nil {
 				return err
 			}
 		case p.tok.kind == tokEOF:
 			return p.errf("unterminated WHERE block")
 		default:
-			if err := p.triples(q); err != nil {
+			if err := p.triples(g); err != nil {
 				return err
 			}
 		}
 	}
 }
 
-func (p *parser) triples(q *Query) error {
+// groupOrUnion parses "{...} (UNION {...})*". A bare group without UNION
+// is merged into the enclosing group (see the package grammar comment).
+func (p *parser) groupOrUnion(g *Group, depth int) error {
+	first, err := p.group(depth + 1)
+	if err != nil {
+		return err
+	}
+	if !p.isKeyword("UNION") {
+		if first.Empty() && len(first.Filters) == 0 {
+			return p.errf("empty group")
+		}
+		g.Patterns = append(g.Patterns, first.Patterns...)
+		g.Filters = append(g.Filters, first.Filters...)
+		g.Unions = append(g.Unions, first.Unions...)
+		g.Optionals = append(g.Optionals, first.Optionals...)
+		return nil
+	}
+	u := &Union{Branches: []*Group{first}}
+	for p.isKeyword("UNION") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		br, err := p.group(depth + 1)
+		if err != nil {
+			return err
+		}
+		u.Branches = append(u.Branches, br)
+	}
+	for _, br := range u.Branches {
+		if br.Empty() {
+			return p.errf("empty UNION branch")
+		}
+	}
+	g.Unions = append(g.Unions, u)
+	return nil
+}
+
+func (p *parser) triples(g *Group) error {
 	subj, err := p.node()
 	if err != nil {
 		return err
@@ -228,7 +486,7 @@ func (p *parser) triples(q *Query) error {
 			if err != nil {
 				return err
 			}
-			q.Where = append(q.Where, TriplePattern{S: subj, P: pred, O: obj})
+			g.Patterns = append(g.Patterns, TriplePattern{S: subj, P: pred, O: obj})
 			if p.tok.kind != tokComma {
 				break
 			}
@@ -253,47 +511,59 @@ func (p *parser) triples(q *Query) error {
 	return p.advance()
 }
 
-func (p *parser) filter(q *Query) error {
+func (p *parser) filter(g *Group) error {
 	if err := p.advance(); err != nil { // consume FILTER
 		return err
 	}
-	if p.tok.kind != tokLParen {
-		return p.errf("expected '(' after FILTER")
-	}
-	if err := p.advance(); err != nil {
+	fs, err := p.compareList()
+	if err != nil {
 		return err
 	}
+	g.Filters = append(g.Filters, fs...)
+	return nil
+}
+
+// compareList parses "(" cmp ("&&" cmp)* ")" — the body shared by FILTER
+// and HAVING.
+func (p *parser) compareList() ([]Filter, error) {
+	if p.tok.kind != tokLParen {
+		return nil, p.errf("expected '('")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Filter
 	for {
 		left, err := p.node()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if p.tok.kind != tokOp {
-			return p.errf("expected comparison operator in FILTER")
+			return nil, p.errf("expected comparison operator")
 		}
 		op, err := parseOp(p.tok.text)
 		if err != nil {
-			return p.errf("%v", err)
+			return nil, p.errf("%v", err)
 		}
 		if err := p.advance(); err != nil {
-			return err
+			return nil, err
 		}
 		right, err := p.node()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		q.Filters = append(q.Filters, Filter{Left: left, Op: op, Right: right})
+		out = append(out, Filter{Left: left, Op: op, Right: right})
 		if p.tok.kind != tokAnd {
 			break
 		}
 		if err := p.advance(); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if p.tok.kind != tokRParen {
-		return p.errf("expected ')' to close FILTER")
+		return nil, p.errf("expected ')'")
 	}
-	return p.advance()
+	return out, p.advance()
 }
 
 func parseOp(s string) (CompareOp, error) {

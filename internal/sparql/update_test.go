@@ -53,9 +53,9 @@ func TestParseUpdateErrors(t *testing.T) {
 	cases := []struct {
 		name, src, wantErr string
 	}{
-		{"empty", ``, "expected INSERT DATA or DELETE DATA"},
-		{"select", `SELECT * WHERE { ?s ?p ?o . }`, "expected INSERT DATA or DELETE DATA"},
-		{"missing data", `INSERT { <http://x/a> <http://x/p> "v" . }`, `expected "DATA"`},
+		{"empty", ``, "expected INSERT, DELETE or DATA operation"},
+		{"select", `SELECT * WHERE { ?s ?p ?o . }`, "expected INSERT, DELETE or DATA operation"},
+		{"missing where", `INSERT { <http://x/a> <http://x/p> "v" . }`, `expected "WHERE"`},
 		{"variable", `INSERT DATA { ?s <http://x/p> "v" . }`, "not allowed in DATA block"},
 		{"parameter", `INSERT DATA { <http://x/a> <http://x/p> %v . }`, "not allowed in DATA block"},
 		{"literal subject", `INSERT DATA { "lit" <http://x/p> "v" . }`, "invalid triple"},
