@@ -6,16 +6,25 @@
 //
 //	benchdiff BENCH_5.json BENCH_6.json
 //	benchdiff -metric work BENCH_5.json BENCH_6.json
+//	benchdiff -threshold 25 BENCH_7.json bench.json
 //
 // Benchmarks present in only one artifact are listed as added/removed
 // rather than failing the run, so the tool degrades gracefully when a
 // previous PR's artifact does not exist yet (pass "-" as the old file to
 // diff against nothing).
+//
+// -threshold N turns the diff into a regression gate: after printing the
+// table, the tool exits 1 when any benchmark's tracked metric regressed
+// (grew) by more than N percent versus the baseline. CI wires this in as
+// a soft check — annotated, not blocking — against the committed
+// BENCH_<n>.json baseline.
 package main
 
 import (
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/benchfmt"
 )
@@ -31,15 +40,35 @@ func main() {
 
 func run(w *os.File, args []string) (int, error) {
 	metric := "ns/op"
-	for len(args) > 0 && args[0] == "-metric" {
-		if len(args) < 2 {
-			return 0, fmt.Errorf("-metric needs a value")
+	threshold := -1.0
+flags:
+	for len(args) > 0 {
+		switch args[0] {
+		case "-metric":
+			if len(args) < 2 {
+				return 0, fmt.Errorf("-metric needs a value")
+			}
+			metric = args[1]
+			args = args[2:]
+		case "-threshold":
+			if len(args) < 2 {
+				return 0, fmt.Errorf("-threshold needs a value")
+			}
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("-threshold wants a non-negative percentage, got %q", args[1])
+			}
+			threshold = v
+			args = args[2:]
+		default:
+			if strings.HasPrefix(args[0], "-") && len(args[0]) > 1 {
+				return 0, fmt.Errorf("unknown flag %s", args[0])
+			}
+			break flags
 		}
-		metric = args[1]
-		args = args[2:]
 	}
 	if len(args) != 2 {
-		return 0, fmt.Errorf("usage: benchdiff [-metric name] OLD.json NEW.json (OLD may be \"-\" for none)")
+		return 0, fmt.Errorf("usage: benchdiff [-metric name] [-threshold pct] OLD.json NEW.json (OLD may be \"-\" for none)")
 	}
 	oldPath, newPath := args[0], args[1]
 	old := benchfmt.Set{}
@@ -71,5 +100,18 @@ func run(w *os.File, args []string) (int, error) {
 		return 0, fmt.Errorf("no benchmark results in %s", newPath)
 	}
 	fmt.Fprint(w, report)
+	if threshold >= 0 {
+		regressed := 0
+		for _, d := range benchfmt.Deltas(old, cur, metric) {
+			if d.Percent > threshold {
+				fmt.Fprintf(w, "REGRESSION %s: %s %+.1f%% (threshold %.1f%%)\n", d.Name, metric, d.Percent, threshold)
+				regressed++
+			}
+		}
+		if regressed > 0 {
+			fmt.Fprintf(w, "benchdiff: %d benchmark(s) regressed beyond %.1f%% on %s\n", regressed, threshold, metric)
+			return 1, nil
+		}
+	}
 	return 0, nil
 }

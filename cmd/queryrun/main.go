@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -45,6 +46,7 @@ type config struct {
 	commit      bool
 	binds       []string
 	explain     bool
+	analyze     bool
 	greedy      bool
 	sampling    bool
 	materialize bool
@@ -67,6 +69,7 @@ func main() {
 	flag.StringVar(&cfg.updateRun, "updaterun", "", "SPARQL-Update text (or @file) applied to the loaded store before the query runs; the query then sees the delta-overlaid snapshot")
 	flag.BoolVar(&cfg.commit, "commit", false, "with -updaterun: fold the delta into a fresh fully indexed store instead of querying the overlay")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the optimized logical and physical plan trees")
+	flag.BoolVar(&cfg.analyze, "analyze", false, "EXPLAIN ANALYZE: trace the execution and print the plan annotated with observed rows, wall time and Cout/Work/Scanned per operator")
 	flag.BoolVar(&cfg.greedy, "greedy", false, "use the greedy optimizer")
 	flag.BoolVar(&cfg.sampling, "sampling", false, "use the sampling cardinality estimator")
 	flag.BoolVar(&cfg.materialize, "materialize", false, "use the materializing engine instead of the streaming one")
@@ -180,9 +183,17 @@ func run(w io.Writer, cfg config) error {
 			fmt.Fprintf(w, "physical:\n%s", phys)
 		}
 	}
+	var capture *obs.Capture
+	if cfg.analyze {
+		capture = &obs.Capture{}
+		opts.Trace = capture
+	}
 	res, err := exec.Run(c, p, st, opts)
 	if err != nil {
 		return err
+	}
+	if capture != nil && capture.Root != nil {
+		fmt.Fprintf(w, "EXPLAIN ANALYZE:\n%s", obs.Render(capture.Root))
 	}
 	fmt.Fprintf(w, "%d rows in %v (Cout %.0f, work %.0f, scanned %d)\n",
 		len(res.Rows), res.Duration, res.Cout, res.Work, res.Scanned)

@@ -27,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +37,19 @@ import (
 	"repro/internal/exec"
 	"repro/internal/service"
 )
+
+// pprofMux builds the standard net/http/pprof mux explicitly instead of
+// relying on the package's DefaultServeMux side-effect registration, so
+// importing it here cannot expose profiles on the API server.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -52,6 +66,11 @@ func main() {
 		update  = flag.Bool("allow-update", false, "enable POST /update (SPARQL-Update INSERT DATA / DELETE DATA)")
 		upRun   = flag.String("updaterun", "", "SPARQL-Update text (or @file) applied once at startup before serving")
 		compact = flag.Int("compact-threshold", 0, "pending delta size that triggers auto-compaction on update (0 = adaptive max(1024, base/8), negative = never)")
+
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth query and retain it in the /trace/recent ring (0 = off)")
+		slowMs      = flag.Int("slow-query-ms", 0, "trace every query and retain+log any at or above this many milliseconds (0 = off)")
+		traceRecent = flag.Int("trace-recent", 0, "recent-trace ring capacity for /trace/recent (0 = 64)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty; bind loopback only)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -66,6 +85,12 @@ func main() {
 	opts.AllowReload = *reload
 	opts.AllowUpdate = *update
 	opts.CompactThreshold = *compact
+	opts.TraceSample = *traceSample
+	opts.SlowQueryMs = *slowMs
+	opts.TraceRecent = *traceRecent
+	if *slowMs > 0 {
+		opts.SlowLog = os.Stderr
+	}
 	if *exact {
 		opts.Exec = exec.Options{}
 	}
@@ -109,6 +134,17 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("served: %d triples from %s, listening on %s", svc.Store().Len(), *data, l.Addr())
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "served: -pprof-addr:", err)
+			os.Exit(1)
+		}
+		log.Printf("served: pprof on %s", pl.Addr())
+		// Dedicated mux and listener: pprof never leaks onto the API
+		// address, and the gate is simply not passing the flag.
+		go func() { _ = http.Serve(pl, pprofMux()) }()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := serve(ctx, l, svc); err != nil {

@@ -141,6 +141,44 @@ func Diff(old, cur Set, metric string) string {
 	return b.String()
 }
 
+// Delta is one benchmark's old→new change for a metric, for programmatic
+// regression gating (cmd/benchdiff -threshold).
+type Delta struct {
+	Name    string
+	Old     float64
+	New     float64
+	Percent float64 // (new-old)/old * 100; 0 when old is 0
+}
+
+// Deltas computes per-benchmark deltas for the chosen metric over the
+// benchmarks present with that metric on both sides (added/removed
+// benchmarks have no delta to gate on), sorted by name.
+func Deltas(old, cur Set, metric string) []Delta {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Delta
+	for _, n := range names {
+		o, ok := old[n]
+		if !ok {
+			continue
+		}
+		ov, oOK := o.Metrics[metric]
+		cv, cOK := cur[n].Metrics[metric]
+		if !oOK || !cOK {
+			continue
+		}
+		d := Delta{Name: n, Old: ov, New: cv}
+		if ov != 0 {
+			d.Percent = (cv - ov) / ov * 100
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // format prints a metric value compactly (integers without a mantissa).
 func format(v float64) string {
 	if v == float64(int64(v)) {

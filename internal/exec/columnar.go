@@ -150,6 +150,9 @@ func (ex *executor) runColumnar(c *plan.Compiled, p *plan.Plan) (*relation, erro
 // colBuild constructs the columnar operator for one physical node,
 // dispatching parallelism-eligible pipelines like the streaming build.
 func (ex *executor) colBuild(n *plan.PhysNode) (colOperator, error) {
+	if ex.trace != nil {
+		return ex.colBuildTraced(n)
+	}
 	if ex.parallelism() > 1 && n.ParallelSource != nil {
 		return ex.newColParallelOp(n)
 	}

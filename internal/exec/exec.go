@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -113,6 +114,17 @@ type Options struct {
 	// service points this at its admission pool so intra-query workers and
 	// concurrent queries respect one budget.
 	Pool *TokenPool
+	// Trace, when non-nil, receives the run's execution trace: every
+	// physical operator is wrapped in a span recording wall time, rows and
+	// batches emitted, the exact Cout/Work/Scanned deltas of its subtree,
+	// and — for morsel-driven parallel operators — a per-morsel/per-worker
+	// breakdown. The finalized span tree is handed to the collector once
+	// the run completes. Tracing never changes results or accounting; the
+	// root span's inclusive totals equal this Result's Cout/Work/Scanned
+	// bit-for-bit. When nil (the default) the engines build the exact
+	// untraced operator tree — no wrappers, no per-tuple checks, no
+	// allocations on the hot path.
+	Trace obs.Collector
 }
 
 // Result is the outcome of one query execution.
@@ -200,6 +212,10 @@ type executor struct {
 	// probeScratch backs the overlay merge path of index-nested-loop
 	// probes (MatchBuf) so per-row probing stays allocation-free.
 	probeScratch []store.IDTriple
+	// trace is the run's tracing context; nil unless Options.Trace is set.
+	// Worker executors never carry one — their counters reach the tracing
+	// run through the morsel-order merge.
+	trace *traceState
 }
 
 // cancelled returns the context's error once the run's context is done.
@@ -238,6 +254,16 @@ func Run(c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result
 func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	start := time.Now()
 	ex := &executor{st: st, ctx: ctx, opts: opts}
+	if opts.Trace != nil {
+		ex.trace = &traceState{}
+		if opts.Mode == Materializing {
+			// The materializing engine evaluates the logical tree directly
+			// (no operator tree to wrap): one root span carries the run.
+			root := &obs.Span{Op: "Materialize", Detail: "Materialize (logical-tree evaluation)"}
+			ex.trace.root = root
+			ex.trace.cur = root
+		}
+	}
 	var rel *relation
 	var err error
 	switch opts.Mode {
@@ -250,6 +276,9 @@ func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store
 	}
 	if err != nil {
 		return nil, err
+	}
+	if ex.trace != nil {
+		ex.finishTrace(len(rel.rows), time.Since(start))
 	}
 	return &Result{
 		Vars:     rel.vars,

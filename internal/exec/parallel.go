@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dict"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -99,6 +101,9 @@ func mergeRowBuffers(outs [][][]dict.ID) [][]dict.ID {
 
 // mergeMorsels folds per-morsel counters into the run's accounting in
 // morsel order and records the schedule (morsel count, peak worker count).
+// Under tracing it also attaches the per-morsel breakdown — counter shares
+// from the workers plus the timing/worker-id schedule the preceding
+// runMorsels call recorded — to the span whose next() frame is executing.
 func (ex *executor) mergeMorsels(counters []execCounters, workers int) {
 	for _, c := range counters {
 		ex.cout += c.cout
@@ -109,6 +114,20 @@ func (ex *executor) mergeMorsels(counters []execCounters, workers int) {
 	ex.morsels += len(counters)
 	if workers > ex.workers {
 		ex.workers = workers
+	}
+	if tr := ex.trace; tr != nil && tr.cur != nil {
+		for i, c := range counters {
+			m := obs.MorselStats{Index: i, Cout: c.cout, Work: c.work, Scanned: int64(c.scan)}
+			if i < len(tr.morselNs) {
+				m.WallNs = tr.morselNs[i]
+				m.Worker = tr.morselWorker[i]
+			}
+			tr.cur.Morsels = append(tr.cur.Morsels, m)
+		}
+		if workers > tr.cur.Workers {
+			tr.cur.Workers = workers
+		}
+		tr.morselNs, tr.morselWorker = nil, nil
 	}
 }
 
@@ -138,19 +157,37 @@ func (ex *executor) runMorsels(n int, fn func(i int) error) (int, error) {
 		}()
 		extra = got
 	}
+	tr := ex.trace
+	if tr != nil {
+		// Per-morsel schedule for the trace: wall time and worker id,
+		// indexed by morsel, consumed by the matching mergeMorsels call.
+		// The checks are per-morsel, never per-tuple, and nothing here
+		// runs when tracing is off.
+		tr.morselNs = make([]int64, n)
+		tr.morselWorker = make([]int, n)
+	}
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
 		errOnce  sync.Once
 		firstErr error
 	)
-	worker := func() {
+	worker := func(id int) {
 		for !failed.Load() {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			if err := fn(i); err != nil {
+			var start time.Time
+			if tr != nil {
+				start = time.Now()
+			}
+			err := fn(i)
+			if tr != nil {
+				tr.morselNs[i] = time.Since(start).Nanoseconds()
+				tr.morselWorker[i] = id
+			}
+			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				failed.Store(true)
 				return
@@ -160,12 +197,12 @@ func (ex *executor) runMorsels(n int, fn func(i int) error) (int, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < extra; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			worker()
-		}()
+			worker(id)
+		}(i + 1)
 	}
-	worker()
+	worker(0)
 	wg.Wait()
 	return extra + 1, firstErr
 }

@@ -80,6 +80,9 @@ func (ex *executor) runStreaming(c *plan.Compiled, p *plan.Plan) (*relation, err
 // everything else (and every node inside such a pipeline) is built by
 // buildNode.
 func (ex *executor) build(n *plan.PhysNode) (operator, error) {
+	if ex.trace != nil {
+		return ex.buildTraced(n)
+	}
 	if ex.parallelism() > 1 && n.ParallelSource != nil {
 		return ex.newParallelOp(n)
 	}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryTrace is one traced query as retained by the service's recent-trace
+// ring: request provenance (query text, plan signature, cache hit,
+// snapshot generation), scheduling (admission wait), the Result-level
+// accounting, and the full span tree.
+type QueryTrace struct {
+	ID   uint64    `json:"id"`
+	Time time.Time `json:"time"`
+	// Endpoint is the service entry point ("query", "execute"); Query is
+	// the canonical query/template text; Template the prepared-template
+	// name ("" for ad-hoc queries).
+	Endpoint string `json:"endpoint"`
+	Query    string `json:"query"`
+	Template string `json:"template,omitempty"`
+
+	PlanSignature string `json:"plan_signature"`
+	CacheHit      bool   `json:"cache_hit"`
+	Generation    uint64 `json:"generation"`
+
+	// AdmissionWaitUs is the time the request spent in admission control
+	// before a pool token was available.
+	AdmissionWaitUs int64 `json:"admission_wait_us"`
+	DurationUs      int64 `json:"duration_us"`
+
+	Rows    int     `json:"rows"`
+	Cout    float64 `json:"cout"`
+	Work    float64 `json:"work"`
+	Scanned int     `json:"scanned"`
+
+	// Slow marks a trace retained by the slow-query threshold; Sampled
+	// marks one retained by the 1-in-N sampler (both can be set).
+	Slow    bool `json:"slow"`
+	Sampled bool `json:"sampled"`
+
+	Root *Span `json:"spans"`
+}
+
+// Ring is a fixed-capacity ring buffer of the most recent query traces,
+// safe for concurrent use. Adds are O(1); Recent returns newest first.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*QueryTrace
+	next uint64 // total adds; next slot is next % cap
+}
+
+// NewRing returns a ring keeping the last n traces (n < 1 keeps 64).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 64
+	}
+	return &Ring{buf: make([]*QueryTrace, n)}
+}
+
+// Add assigns t the next trace ID and inserts it, evicting the oldest
+// entry once the ring is full.
+func (r *Ring) Add(t *QueryTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	t.ID = r.next
+	r.buf[int((r.next-1)%uint64(len(r.buf)))] = t
+}
+
+// Total returns the number of traces ever added (retained or evicted).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Recent returns up to n retained traces, newest first (n < 1 means all
+// retained).
+func (r *Ring) Recent(n int) []*QueryTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := int(r.next)
+	if kept > len(r.buf) {
+		kept = len(r.buf)
+	}
+	if n < 1 || n > kept {
+		n = kept
+	}
+	out := make([]*QueryTrace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[int((r.next-1-uint64(i))%uint64(len(r.buf)))])
+	}
+	return out
+}

@@ -182,7 +182,31 @@ func (p *Physical) String() string {
 
 func (n *PhysNode) render(b *strings.Builder, depth int) {
 	indent := strings.Repeat("  ", depth)
-	fmt.Fprintf(b, "%s%s", indent, n.Op)
+	b.WriteString(indent)
+	n.describe(b)
+	b.WriteString("\n")
+	if n.Left != nil {
+		n.Left.render(b, depth+1)
+	}
+	if n.Right != nil {
+		n.Right.render(b, depth+1)
+	}
+	for _, k := range n.Kids {
+		k.render(b, depth+1)
+	}
+}
+
+// Describe returns the node's one-line EXPLAIN text (operator name,
+// operator-specific details, output schema) without children — the label
+// the execution tracer attaches to the node's span.
+func (n *PhysNode) Describe() string {
+	var b strings.Builder
+	n.describe(&b)
+	return b.String()
+}
+
+func (n *PhysNode) describe(b *strings.Builder) {
+	fmt.Fprintf(b, "%s", n.Op)
 	switch n.Op {
 	case PhysIndexScan, PhysIndexProbe:
 		fmt.Fprintf(b, " p%d %v", n.Leaf.Index, n.Leaf.Pat)
@@ -231,16 +255,6 @@ func (n *PhysNode) render(b *strings.Builder, depth int) {
 	fmt.Fprintf(b, " -> %v", n.Vars)
 	if n.ParallelSource != nil {
 		b.WriteString(" [parallel-eligible]")
-	}
-	b.WriteString("\n")
-	if n.Left != nil {
-		n.Left.render(b, depth+1)
-	}
-	if n.Right != nil {
-		n.Right.render(b, depth+1)
-	}
-	for _, k := range n.Kids {
-		k.render(b, depth+1)
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io/fs"
 	"net/http"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
@@ -30,6 +32,9 @@ type queryRequest struct {
 	Query    string            `json:"query"`
 	Bindings map[string]string `json:"bindings,omitempty"`
 	MaxRows  int               `json:"max_rows,omitempty"`
+	// Explain: "analyze" traces the execution and returns the EXPLAIN
+	// ANALYZE listing and span tree alongside the result.
+	Explain string `json:"explain,omitempty"`
 }
 
 type prepareRequest struct {
@@ -48,6 +53,8 @@ type executeRequest struct {
 	Bindings map[string]string   `json:"bindings,omitempty"`
 	Batch    []map[string]string `json:"batch,omitempty"`
 	MaxRows  int                 `json:"max_rows,omitempty"`
+	// Explain: "analyze" traces the execution (single-binding form only).
+	Explain string `json:"explain,omitempty"`
 }
 
 // resultPayload is one execution's JSON rendering. Rows are truncated to
@@ -64,6 +71,11 @@ type resultPayload struct {
 	PlanSignature string     `json:"plan_signature"`
 	CacheHit      bool       `json:"cache_hit"`
 	Generation    uint64     `json:"generation"`
+	// ExplainAnalyze is the rendered EXPLAIN ANALYZE listing and Spans the
+	// span tree, both present only when the request asked for
+	// explain=analyze.
+	ExplainAnalyze string    `json:"explain_analyze,omitempty"`
+	Spans          *obs.Span `json:"spans,omitempty"`
 }
 
 type executeResponse struct {
@@ -104,6 +116,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace/recent", s.handleTraceRecent)
 	return mux
 }
 
@@ -117,12 +131,29 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badInput(err))
 		return
 	}
-	out, err := s.Query(r.Context(), req.Query, b)
+	ro, err := parseExplain(req.Explain)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.QueryWith(r.Context(), req.Query, b, ro)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, payload(out, req.MaxRows))
+}
+
+// parseExplain maps a request's explain field to RunOptions.
+func parseExplain(v string) (RunOptions, error) {
+	switch v {
+	case "":
+		return RunOptions{}, nil
+	case "analyze":
+		return RunOptions{Analyze: true}, nil
+	default:
+		return RunOptions{}, badInput(fmt.Errorf("unknown explain mode %q (want \"analyze\")", v))
+	}
 }
 
 func (s *Service) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -154,6 +185,29 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Batch) > 0 && req.Bindings != nil {
 		writeError(w, badInput(errors.New("use either bindings or batch, not both")))
+		return
+	}
+	ro, err := parseExplain(req.Explain)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if ro.Analyze && len(req.Batch) > 0 {
+		writeError(w, badInput(errors.New("explain=analyze supports single executions only")))
+		return
+	}
+	if ro.Analyze {
+		b, err := parseBindingMap(req.Bindings)
+		if err != nil {
+			writeError(w, badInput(err))
+			return
+		}
+		out, err := s.ExecuteWith(r.Context(), p, b, ro)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, payload(out, req.MaxRows))
 		return
 	}
 	batch := req.Batch
@@ -237,6 +291,30 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// traceRecentResponse is the GET /trace/recent payload: the lifetime
+// retained-trace count plus up to n retained traces, newest first.
+type traceRecentResponse struct {
+	Total  uint64            `json:"total"`
+	Traces []*obs.QueryTrace `json:"traces"`
+}
+
+func (s *Service) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, badInput(fmt.Errorf("invalid n %q: %w", v, err)))
+			return
+		}
+		n = parsed
+	}
+	traces := s.ring.Recent(n)
+	if traces == nil {
+		traces = []*obs.QueryTrace{}
+	}
+	writeJSON(w, http.StatusOK, traceRecentResponse{Total: s.ring.Total(), Traces: traces})
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:     "ok",
@@ -262,17 +340,19 @@ func payload(out *Outcome, maxRows int) resultPayload {
 	}
 	rows := out.decodeRows(raw)
 	return resultPayload{
-		Vars:          vars,
-		Rows:          rows,
-		RowCount:      len(res.Rows),
-		Truncated:     truncated,
-		Cout:          res.Cout,
-		Work:          res.Work,
-		Scanned:       res.Scanned,
-		DurationUs:    res.Duration.Microseconds(),
-		PlanSignature: out.Plan.Signature,
-		CacheHit:      out.CacheHit,
-		Generation:    out.Generation,
+		Vars:           vars,
+		Rows:           rows,
+		RowCount:       len(res.Rows),
+		Truncated:      truncated,
+		Cout:           res.Cout,
+		Work:           res.Work,
+		Scanned:        res.Scanned,
+		DurationUs:     res.Duration.Microseconds(),
+		PlanSignature:  out.Plan.Signature,
+		CacheHit:       out.CacheHit,
+		Generation:     out.Generation,
+		ExplainAnalyze: out.Analyze,
+		Spans:          out.Trace,
 	}
 }
 

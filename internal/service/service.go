@@ -20,8 +20,10 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sparql"
 	"repro/internal/stats"
@@ -106,6 +109,25 @@ type Options struct {
 	// eagerly and large ones amortize the rebuild; negative disables
 	// auto-compaction (overlays grow until Compact is called).
 	CompactThreshold int
+	// TraceSample enables 1-in-N execution tracing: every Nth query
+	// (counted across /query and /execute) runs with a span collector and
+	// the finished trace is retained in the recent-trace ring served by
+	// GET /trace/recent. 0 disables sampling. Tracing never changes
+	// results or accounting; only the sampled query pays the collection
+	// overhead.
+	TraceSample int
+	// SlowQueryMs arms slow-query capture: every query runs traced, and
+	// any whose execution reaches this many milliseconds is retained in
+	// the ring (marked slow) and emitted as one structured JSON line to
+	// SlowLog. 0 disables — queries then run untraced unless sampled or
+	// explicitly analyzed.
+	SlowQueryMs int
+	// TraceRecent is the recent-trace ring capacity. 0 means 64.
+	TraceRecent int
+	// SlowLog receives the structured slow-query log, one JSON object per
+	// line. nil disables the log; slow traces are still retained in the
+	// ring when SlowQueryMs is set.
+	SlowLog io.Writer
 }
 
 // DefaultOptions returns the serving-mode defaults: streaming engine with
@@ -140,6 +162,9 @@ func (o Options) normalized() Options {
 		o.Parallelism = 1
 	}
 	o.Exec.Parallelism = o.Parallelism
+	if o.TraceRecent == 0 {
+		o.TraceRecent = 64
+	}
 	return o
 }
 
@@ -249,6 +274,14 @@ type Service struct {
 	// Columnar kernel telemetry, aggregated from exec results.
 	kern kernelCounters
 
+	// Tracing: the recent-trace ring plus the sampling sequence and
+	// traced/slow counters.
+	ring     *obs.Ring
+	traceSeq atomic.Uint64
+	traced   atomic.Uint64
+	slow     atomic.Uint64
+	slowMu   sync.Mutex // serializes SlowLog writes
+
 	prepMu   sync.RWMutex
 	prepared map[string]*Prepared
 
@@ -266,6 +299,7 @@ func New(st *store.Store, source string, opts Options) *Service {
 		opts:      opts,
 		variant:   engineVariant(opts.Exec),
 		pool:      exec.NewTokenPool(opts.Workers),
+		ring:      obs.NewRing(opts.TraceRecent),
 		prepared:  make(map[string]*Prepared),
 		counts:    make(map[string]uint64),
 		errCounts: make(map[string]uint64),
@@ -526,6 +560,26 @@ type Outcome struct {
 	// with its dictionary, not the service's current one (a swap may have
 	// happened since).
 	Store *store.Store
+	// Analyze is the rendered EXPLAIN ANALYZE listing and Trace the
+	// finalized span tree, both set only when the execution was requested
+	// with RunOptions.Analyze.
+	Analyze string
+	Trace   *obs.Span
+}
+
+// RunOptions are per-request execution options beyond the binding.
+type RunOptions struct {
+	// Analyze traces the execution and returns the EXPLAIN ANALYZE
+	// rendering (and span tree) in the Outcome.
+	Analyze bool
+}
+
+// runMeta carries request provenance into run for trace attribution.
+type runMeta struct {
+	endpoint  string
+	template  string
+	admitWait time.Duration
+	analyze   bool
 }
 
 // DecodedRows renders the result rows as N-Triples term strings using the
@@ -555,15 +609,25 @@ func (o *Outcome) decodeRows(rows [][]dict.ID) [][]string {
 
 // Execute runs the prepared template with one binding, through admission
 // control and the plan cache.
-func (s *Service) Execute(ctx context.Context, p *Prepared, b sparql.Binding) (out *Outcome, err error) {
+func (s *Service) Execute(ctx context.Context, p *Prepared, b sparql.Binding) (*Outcome, error) {
+	return s.ExecuteWith(ctx, p, b, RunOptions{})
+}
+
+// ExecuteWith is Execute with per-request options (EXPLAIN ANALYZE).
+func (s *Service) ExecuteWith(ctx context.Context, p *Prepared, b sparql.Binding, ro RunOptions) (out *Outcome, err error) {
 	start := time.Now()
-	defer func() { s.observe("execute", time.Since(start), err) }()
+	defer func() {
+		d := time.Since(start)
+		s.observe("execute", d, err)
+		s.observe("template:"+p.Name, d, err)
+	}()
 	release, err := s.admit(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	return s.run(ctx, s.state.Load(), p.tmpl, p.Text, b)
+	m := runMeta{endpoint: "execute", template: p.Name, admitWait: time.Since(start), analyze: ro.Analyze}
+	return s.run(ctx, s.state.Load(), p.tmpl, p.Text, b, m)
 }
 
 // ExecuteBatch runs the prepared template once per binding, under a single
@@ -572,16 +636,21 @@ func (s *Service) Execute(ctx context.Context, p *Prepared, b sparql.Binding) (o
 // generation.
 func (s *Service) ExecuteBatch(ctx context.Context, p *Prepared, bindings []sparql.Binding) (out []*Outcome, err error) {
 	start := time.Now()
-	defer func() { s.observe("execute", time.Since(start), err) }()
+	defer func() {
+		d := time.Since(start)
+		s.observe("execute", d, err)
+		s.observe("template:"+p.Name, d, err)
+	}()
 	release, err := s.admit(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	m := runMeta{endpoint: "execute", template: p.Name, admitWait: time.Since(start)}
 	st := s.state.Load()
 	out = make([]*Outcome, 0, len(bindings))
 	for i, b := range bindings {
-		o, err := s.run(ctx, st, p.tmpl, p.Text, b)
+		o, err := s.run(ctx, st, p.tmpl, p.Text, b, m)
 		if err != nil {
 			return nil, fmt.Errorf("batch item %d: %w", i, err)
 		}
@@ -594,7 +663,12 @@ func (s *Service) ExecuteBatch(ctx context.Context, p *Prepared, bindings []spar
 // bound queries) and execute. Identical query texts share plan-cache
 // entries with each other and with prepared templates, since the cache key
 // uses the canonical rendering.
-func (s *Service) Query(ctx context.Context, text string, b sparql.Binding) (out *Outcome, err error) {
+func (s *Service) Query(ctx context.Context, text string, b sparql.Binding) (*Outcome, error) {
+	return s.QueryWith(ctx, text, b, RunOptions{})
+}
+
+// QueryWith is Query with per-request options (EXPLAIN ANALYZE).
+func (s *Service) QueryWith(ctx context.Context, text string, b sparql.Binding, ro RunOptions) (out *Outcome, err error) {
 	start := time.Now()
 	defer func() { s.observe("query", time.Since(start), err) }()
 	// Admission comes first — under overload even parsing is work the
@@ -604,16 +678,20 @@ func (s *Service) Query(ctx context.Context, text string, b sparql.Binding) (out
 		return nil, err
 	}
 	defer release()
+	m := runMeta{endpoint: "query", admitWait: time.Since(start), analyze: ro.Analyze}
 	q, err := sparql.Parse(text)
 	if err != nil {
 		return nil, badInput(err)
 	}
-	return s.run(ctx, s.state.Load(), q, q.String(), b)
+	return s.run(ctx, s.state.Load(), q, q.String(), b, m)
 }
 
 // run executes one (template, binding) pair against the pinned snapshot
 // state: plan-cache lookup first, full bind/compile/optimize on a miss.
-func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, text string, b sparql.Binding) (*Outcome, error) {
+// The run is traced when the request asked for EXPLAIN ANALYZE, when the
+// 1-in-N sampler selects it, or when slow-query capture is armed (the
+// trace is then discarded if the query comes in under the threshold).
+func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, text string, b sparql.Binding, m runMeta) (*Outcome, error) {
 	key := plan.CacheKeyVariant(text, b, s.variant)
 	ent, hit := st.cache.get(key)
 	if !hit {
@@ -636,7 +714,17 @@ func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, te
 		ent = &planEntry{key: key, c: c, p: p}
 		st.cache.put(ent)
 	}
-	res, err := exec.RunCtx(ctx, ent.c, ent.p, st.store, s.opts.Exec)
+	execOpts := s.opts.Exec
+	var capture *obs.Capture
+	sampled := false
+	if n := s.opts.TraceSample; n > 0 && s.traceSeq.Add(1)%uint64(n) == 0 {
+		sampled = true
+	}
+	if m.analyze || sampled || s.opts.SlowQueryMs > 0 {
+		capture = &obs.Capture{}
+		execOpts.Trace = capture
+	}
+	res, err := exec.RunCtx(ctx, ent.c, ent.p, st.store, execOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -652,8 +740,104 @@ func (s *Service) run(ctx context.Context, st *snapState, tmpl *sparql.Query, te
 			}
 		}
 	}
-	return &Outcome{Result: res, Plan: ent.p, CacheHit: hit, Generation: st.gen, Store: st.store}, nil
+	out := &Outcome{Result: res, Plan: ent.p, CacheHit: hit, Generation: st.gen, Store: st.store}
+	if capture != nil && capture.Root != nil {
+		s.recordTrace(m, sampled, text, ent.p.Signature, hit, st.gen, res, capture.Root, out)
+	}
+	return out, nil
 }
+
+// recordTrace decides a captured trace's fate: EXPLAIN ANALYZE requests
+// get the rendering in their Outcome, sampled and slow traces are retained
+// in the recent-trace ring, and slow traces additionally emit one
+// structured log line. A trace captured only because slow-query capture is
+// armed is dropped when the query comes in under the threshold.
+func (s *Service) recordTrace(m runMeta, sampled bool, text, sig string, hit bool, gen uint64, res *exec.Result, root *obs.Span, out *Outcome) {
+	s.traced.Add(1)
+	if m.analyze {
+		out.Analyze = obs.Render(root)
+		out.Trace = root
+	}
+	slow := s.opts.SlowQueryMs > 0 && res.Duration >= time.Duration(s.opts.SlowQueryMs)*time.Millisecond
+	if !m.analyze && !sampled && !slow {
+		return
+	}
+	t := &obs.QueryTrace{
+		Time:            time.Now(),
+		Endpoint:        m.endpoint,
+		Query:           text,
+		Template:        m.template,
+		PlanSignature:   sig,
+		CacheHit:        hit,
+		Generation:      gen,
+		AdmissionWaitUs: m.admitWait.Microseconds(),
+		DurationUs:      res.Duration.Microseconds(),
+		Rows:            len(res.Rows),
+		Cout:            res.Cout,
+		Work:            res.Work,
+		Scanned:         res.Scanned,
+		Slow:            slow,
+		Sampled:         sampled,
+		Root:            root,
+	}
+	s.ring.Add(t)
+	if !slow {
+		return
+	}
+	s.slow.Add(1)
+	if w := s.opts.SlowLog; w != nil {
+		line, err := json.Marshal(slowLogLine{
+			Time:            t.Time.Format(time.RFC3339Nano),
+			Level:           "warn",
+			Msg:             "slow query",
+			TraceID:         t.ID,
+			Endpoint:        m.endpoint,
+			Template:        m.template,
+			Query:           text,
+			DurationMs:      float64(res.Duration) / float64(time.Millisecond),
+			ThresholdMs:     s.opts.SlowQueryMs,
+			AdmissionWaitUs: t.AdmissionWaitUs,
+			Rows:            len(res.Rows),
+			Cout:            res.Cout,
+			Work:            res.Work,
+			Scanned:         res.Scanned,
+			PlanSignature:   sig,
+			CacheHit:        hit,
+			Generation:      gen,
+		})
+		if err == nil {
+			s.slowMu.Lock()
+			_, _ = w.Write(append(line, '\n'))
+			s.slowMu.Unlock()
+		}
+	}
+}
+
+// slowLogLine is one structured slow-query log record: a summary without
+// the span tree — the full trace stays in the ring under TraceID.
+type slowLogLine struct {
+	Time            string  `json:"time"`
+	Level           string  `json:"level"`
+	Msg             string  `json:"msg"`
+	TraceID         uint64  `json:"trace_id"`
+	Endpoint        string  `json:"endpoint"`
+	Template        string  `json:"template,omitempty"`
+	Query           string  `json:"query"`
+	DurationMs      float64 `json:"duration_ms"`
+	ThresholdMs     int     `json:"threshold_ms"`
+	AdmissionWaitUs int64   `json:"admission_wait_us"`
+	Rows            int     `json:"rows"`
+	Cout            float64 `json:"cout"`
+	Work            float64 `json:"work"`
+	Scanned         int     `json:"scanned"`
+	PlanSignature   string  `json:"plan_signature"`
+	CacheHit        bool    `json:"cache_hit"`
+	Generation      uint64  `json:"generation"`
+}
+
+// TraceRecent returns up to n retained traces, newest first (n < 1 means
+// all retained).
+func (s *Service) TraceRecent(n int) []*obs.QueryTrace { return s.ring.Recent(n) }
 
 // admit acquires one token from the shared CPU pool, waiting in the
 // bounded queue when the pool is exhausted. It fails fast with
@@ -711,6 +895,17 @@ func ParseEngineMode(name string) (exec.ExecMode, error) {
 	}
 }
 
+// maxLatencyKeys caps the latency map's cardinality. Per-template keys
+// derive from client-chosen /prepare names, so without a cap an
+// adversarial (or merely enthusiastic) client could grow the map — and
+// every /stats and /metrics payload — without bound. Observations past
+// the cap fold into the "other" key, so the map holds at most
+// maxLatencyKeys distinct keys plus "other".
+const maxLatencyKeys = 64
+
+// latencyOverflowKey aggregates observations whose key did not fit.
+const latencyOverflowKey = "other"
+
 // observe records one finished request — failed ones included, so an error
 // storm is visible in /stats rather than indistinguishable from idleness.
 func (s *Service) observe(endpoint string, d time.Duration, err error) {
@@ -719,10 +914,16 @@ func (s *Service) observe(endpoint string, d time.Duration, err error) {
 	defer s.statMu.Unlock()
 	h, ok := s.latency[endpoint]
 	if !ok {
-		// 1µs .. 10s in geometric steps — query latencies span orders of
-		// magnitude (cache hit on an empty result vs a cold heavy join).
-		h = stats.NewLogHistogram(0.001, 10_000, 21)
-		s.latency[endpoint] = h
+		if len(s.latency) >= maxLatencyKeys && endpoint != latencyOverflowKey {
+			endpoint = latencyOverflowKey
+			h = s.latency[endpoint]
+		}
+		if h == nil {
+			// 1µs .. 10s in geometric steps — query latencies span orders of
+			// magnitude (cache hit on an empty result vs a cold heavy join).
+			h = stats.NewLogHistogram(0.001, 10_000, 21)
+			s.latency[endpoint] = h
+		}
 	}
 	h.Add(ms)
 	s.counts[endpoint]++
@@ -828,6 +1029,20 @@ type HistogramStats struct {
 	BoundsMs []float64 `json:"bounds_ms"`
 	Counts   []int     `json:"counts"`
 	Total    int       `json:"total"`
+	SumMs    float64   `json:"sum_ms"`
+}
+
+// TraceStats describe the tracing subsystem: its configuration plus how
+// many queries ran traced, how many crossed the slow threshold, and how
+// many traces were retained in the ring (lifetime, not just currently
+// held).
+type TraceStats struct {
+	Sample      int    `json:"sample"`
+	SlowQueryMs int    `json:"slow_query_ms"`
+	RingSize    int    `json:"ring_size"`
+	Traced      uint64 `json:"traced"`
+	Slow        uint64 `json:"slow"`
+	Retained    uint64 `json:"retained"`
 }
 
 // RequestStats are the per-endpoint request count (failures included),
@@ -846,6 +1061,7 @@ type Stats struct {
 	Pool     PoolStats               `json:"pool"`
 	Parallel ParallelStats           `json:"parallel"`
 	Engine   EngineStats             `json:"engine"`
+	Trace    TraceStats              `json:"trace"`
 	Prepared []string                `json:"prepared"`
 	Requests map[string]RequestStats `json:"requests"`
 }
@@ -908,6 +1124,14 @@ func (s *Service) Stats() Stats {
 				AggGroups:     s.kern.aggGroups.Load(),
 			},
 		},
+		Trace: TraceStats{
+			Sample:      s.opts.TraceSample,
+			SlowQueryMs: s.opts.SlowQueryMs,
+			RingSize:    s.opts.TraceRecent,
+			Traced:      s.traced.Load(),
+			Slow:        s.slow.Load(),
+			Retained:    s.ring.Total(),
+		},
 		Prepared: s.PreparedNames(),
 		Requests: make(map[string]RequestStats),
 	}
@@ -927,6 +1151,7 @@ func (s *Service) Stats() Stats {
 				BoundsMs: append([]float64(nil), h.Bounds...),
 				Counts:   append([]int(nil), h.Counts...),
 				Total:    h.Total(),
+				SumMs:    h.Sum(),
 			},
 		}
 	}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// TestLatencyCardinalityCap is the regression test for the latency-map
+// growth bug: per-template histogram keys derive from client-chosen
+// /prepare names, so a client registering many templates used to grow
+// /stats without bound. The map must now hold at most maxLatencyKeys
+// distinct keys plus the "other" overflow bucket, with no observation
+// lost to the folding.
+func TestLatencyCardinalityCap(t *testing.T) {
+	svc := New(buildTinyStore(t), "", Options{})
+	who := sparql.Binding{"who": rdf.NewIRI("http://x/alice")}
+	const templates = 3 * maxLatencyKeys / 2
+	for i := 0; i < templates; i++ {
+		name := fmt.Sprintf("tmpl-%03d", i)
+		p, err := svc.Prepare(name, `SELECT ?f WHERE { %who <http://x/knows> ?f . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Execute(context.Background(), p, who); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if len(st.Requests) > maxLatencyKeys+1 {
+		t.Fatalf("latency map grew to %d keys, cap is %d + overflow", len(st.Requests), maxLatencyKeys)
+	}
+	other, ok := st.Requests[latencyOverflowKey]
+	if !ok || other.Count == 0 {
+		t.Fatalf("overflow bucket %q missing or empty: %+v", latencyOverflowKey, other)
+	}
+	// Each Execute observes the "execute" endpoint and its template key;
+	// folding must conserve the total observation count.
+	var total, histTotal uint64
+	for _, r := range st.Requests {
+		total += r.Count
+		histTotal += uint64(r.LatencyMs.Total)
+	}
+	if want := uint64(2 * templates); total != want || histTotal != want {
+		t.Fatalf("observation counts = %d (histograms %d), want %d", total, histTotal, want)
+	}
+	// The cap folds only new keys: the hot "execute" endpoint key was
+	// created first and must still be tracked individually.
+	if st.Requests["execute"].Count != uint64(templates) {
+		t.Fatalf("execute endpoint count = %d, want %d", st.Requests["execute"].Count, templates)
+	}
+}
+
+// TestTraceSamplingAndRing drives the 1-in-N sampler: with TraceSample 2,
+// half the executions retain a trace in the /trace/recent ring, newest
+// first, each carrying the span tree and accounting totals.
+func TestTraceSamplingAndRing(t *testing.T) {
+	svc := New(buildTinyStore(t), "", Options{TraceSample: 2, TraceRecent: 8})
+	p, err := svc.Prepare("friends", `SELECT ?f WHERE { %who <http://x/knows> ?f . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	who := sparql.Binding{"who": rdf.NewIRI("http://x/alice")}
+	const runs = 6
+	for i := 0; i < runs; i++ {
+		if _, err := svc.Execute(context.Background(), p, who); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Trace.Traced != runs/2 || st.Trace.Retained != runs/2 {
+		t.Fatalf("traced=%d retained=%d, want %d each", st.Trace.Traced, st.Trace.Retained, runs/2)
+	}
+	traces := svc.TraceRecent(10)
+	if len(traces) != runs/2 {
+		t.Fatalf("ring holds %d traces, want %d", len(traces), runs/2)
+	}
+	for i, tr := range traces {
+		if !tr.Sampled || tr.Slow {
+			t.Fatalf("trace %d: sampled=%v slow=%v, want sampled only", i, tr.Sampled, tr.Slow)
+		}
+		if tr.Root == nil || tr.Endpoint != "execute" || tr.Template != "friends" {
+			t.Fatalf("trace %d incomplete: %+v", i, tr)
+		}
+		if tr.Root.Cout != tr.Cout || tr.Root.Work != tr.Work || tr.Root.Scanned != int64(tr.Scanned) {
+			t.Fatalf("trace %d: span totals disagree with trace accounting", i)
+		}
+		if i > 0 && traces[i-1].ID <= tr.ID {
+			t.Fatalf("ring not newest-first: %d then %d", traces[i-1].ID, tr.ID)
+		}
+	}
+}
+
+// TestExplainAnalyzeOutcome requests analyze explicitly: the outcome must
+// carry both the rendered EXPLAIN ANALYZE listing and the span tree, and
+// the run is retained for /trace/recent regardless of sampling.
+func TestExplainAnalyzeOutcome(t *testing.T) {
+	svc := New(buildTinyStore(t), "", Options{})
+	out, err := svc.QueryWith(context.Background(),
+		`SELECT ?f ?a WHERE { ?x <http://x/knows> ?f . ?f <http://x/age> ?a . }`,
+		nil, RunOptions{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("analyze outcome has no span tree")
+	}
+	if !strings.Contains(out.Analyze, "actual:") || !strings.Contains(out.Analyze, "wall=") {
+		t.Fatalf("EXPLAIN ANALYZE rendering looks wrong:\n%s", out.Analyze)
+	}
+	if out.Trace.Cout != out.Result.Cout || out.Trace.Work != out.Result.Work {
+		t.Fatalf("span totals (cout=%v work=%v) != result (cout=%v work=%v)",
+			out.Trace.Cout, out.Trace.Work, out.Result.Cout, out.Result.Work)
+	}
+	if got := svc.TraceRecent(1); len(got) != 1 || got[0].Root != out.Trace {
+		t.Fatal("analyze run was not retained in the trace ring")
+	}
+}
+
+// TestSlowQueryLog fabricates a run over the slow threshold and checks
+// the structured log line plus the slow counters. recordTrace is called
+// directly so the test does not depend on wall-clock timing.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	svc := New(buildTinyStore(t), "", Options{SlowQueryMs: 1, SlowLog: &buf})
+	res := &exec.Result{
+		Cout:     3,
+		Work:     9,
+		Scanned:  12,
+		Duration: 5 * time.Millisecond,
+	}
+	root := &obs.Span{Op: "IndexScan", Cout: 3, Work: 9, Scanned: 12}
+	out := &Outcome{}
+	svc.recordTrace(runMeta{endpoint: "execute", template: "q7", admitWait: 42 * time.Microsecond},
+		false, "SELECT ...", "plan-sig", true, 1, res, root, out)
+	st := svc.Stats()
+	if st.Trace.Traced != 1 || st.Trace.Slow != 1 || st.Trace.Retained != 1 {
+		t.Fatalf("trace stats = %+v, want one traced+slow+retained", st.Trace)
+	}
+	traces := svc.TraceRecent(1)
+	if len(traces) != 1 || !traces[0].Slow || traces[0].Root != root {
+		t.Fatalf("slow trace not retained correctly: %+v", traces)
+	}
+	var line struct {
+		Level       string  `json:"level"`
+		Msg         string  `json:"msg"`
+		TraceID     uint64  `json:"trace_id"`
+		Template    string  `json:"template"`
+		DurationMs  float64 `json:"duration_ms"`
+		ThresholdMs int     `json:"threshold_ms"`
+		Cout        float64 `json:"cout"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &line); err != nil {
+		t.Fatalf("slow log is not one JSON line: %v\n%s", err, buf.String())
+	}
+	if line.Level != "warn" || line.Msg != "slow query" || line.Template != "q7" ||
+		line.DurationMs != 5 || line.ThresholdMs != 1 || line.Cout != 3 {
+		t.Fatalf("slow log line fields wrong: %+v", line)
+	}
+	if line.TraceID != traces[0].ID {
+		t.Fatalf("slow log trace_id %d does not reference ring entry %d", line.TraceID, traces[0].ID)
+	}
+	// Under the threshold: traced but neither retained nor logged.
+	buf.Reset()
+	fast := &exec.Result{Duration: 100 * time.Microsecond}
+	svc.recordTrace(runMeta{endpoint: "execute"}, false, "SELECT ...", "sig", false, 1, fast, root, &Outcome{})
+	if got := svc.Stats().Trace; got.Slow != 1 || got.Retained != 1 {
+		t.Fatalf("fast run leaked into slow accounting: %+v", got)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fast run wrote a slow log line: %s", buf.String())
+	}
+}

@@ -13,6 +13,7 @@ type Histogram struct {
 	Bounds []float64 // len(Bounds)+1 buckets; bucket i covers [Bounds[i-1], Bounds[i])
 	Counts []int     // len(Bounds)+1 counts; first bucket is (-inf, Bounds[0])
 	total  int
+	sum    float64
 }
 
 // NewLogHistogram builds a histogram with buckets at lo, lo·r, lo·r², …
@@ -53,6 +54,7 @@ func (h *Histogram) Add(x float64) {
 	}
 	h.Counts[i]++
 	h.total++
+	h.sum += x
 }
 
 // AddAll records all observations.
@@ -64,6 +66,11 @@ func (h *Histogram) AddAll(xs []float64) {
 
 // Total returns the number of observations recorded.
 func (h *Histogram) Total() int { return h.total }
+
+// Sum returns the sum of all recorded observations — with Total it yields
+// the mean, and it backs the `_sum` series of a Prometheus-style
+// cumulative-histogram exposition.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Render draws an ASCII bar chart, one line per non-empty bucket, bars
 // scaled to width w.
