@@ -13,6 +13,7 @@ package repro
 // accounting are bit-identical across the three.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -198,3 +199,48 @@ func BenchmarkExecColumnar2(b *testing.B) { benchExecColumnar(b, 2) }
 
 // BenchmarkExecColumnar8 runs the columnar pipeline on up to 8 workers.
 func BenchmarkExecColumnar8(b *testing.B) { benchExecColumnar(b, 8) }
+
+// BenchmarkExecColumnarMapped runs the serial columnar drill-down over an
+// mmap-style v4-backed store instead of heap indexes: same plan, same rows
+// and accounting as BenchmarkExecColumnar1, with scans going through the
+// bounds-checked mapped TripleSource. The gap between the two is the cost
+// of serving the hot path straight from a snapshot file.
+func BenchmarkExecColumnarMapped(b *testing.B) {
+	heap, binding := benchParallelSetup(b)
+	var buf bytes.Buffer
+	if err := heap.WriteSnapshotVersion(&buf, 4); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.OpenMappedBytes(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.Backend() != "mapped" {
+		b.Fatalf("backend = %q, want mapped", st.Backend())
+	}
+	bound, err := bsbm.Q3().Bind(binding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := plan.Compile(bound, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Optimize(c, plan.NewEstimator(st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exec.Options{Mode: exec.Columnar}
+	b.ResetTimer()
+	var res *exec.Result
+	for i := 0; i < b.N; i++ {
+		res, err = exec.Run(c, p, st, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Rows)), "rows")
+	b.ReportMetric(res.Work, "work")
+	b.ReportMetric(float64(res.Kernels.Batches), "batches")
+	b.ReportMetric(float64(st.MappedBytes()), "mapped-bytes")
+}

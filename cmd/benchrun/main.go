@@ -116,14 +116,16 @@ func run(w io.Writer, dataset, scale, query, mode, snapshot string, groups, n in
 }
 
 // load resolves the store and query template. With a snapshot path the
-// store is deserialized (through the shared parallel build path) instead of
-// regenerated, which skips dataset generation entirely; the dataset flag
-// still selects which template family the query name refers to.
+// store is loaded instead of regenerated (v4 snapshots are served straight
+// from an OS file mapping, older versions deserialize through the shared
+// parallel build path), which skips dataset generation entirely; the
+// dataset flag still selects which template family the query name refers
+// to.
 func load(dataset, scale, query string, seed int64, snapshot string) (*store.Store, *sparql.Query, string, error) {
 	var st *store.Store
 	if snapshot != "" {
 		var err error
-		st, err = store.LoadAny(snapshot)
+		st, err = store.LoadAnyMapped(snapshot)
 		if err != nil {
 			return nil, nil, "", err
 		}

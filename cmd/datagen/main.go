@@ -26,7 +26,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("out", "", "output file (default stdout)")
 		format  = flag.String("format", "nt", "output format: nt (N-Triples) | snapshot (binary store snapshot)")
-		snapVer = flag.Int("snapshot-version", 2, "snapshot format version: 2 (varint+delta, default) | 1 (fixed-width, legacy)")
+		snapVer = flag.Int("snapshot-version", 2, "snapshot format version: 2 (varint+delta, default) | 1 (fixed-width, legacy) | 3 (partitioned stats) | 4 (page-aligned, mmap-servable)")
 	)
 	flag.Parse()
 	if err := run(*dataset, *scale, *seed, *out, *format, *snapVer); err != nil {

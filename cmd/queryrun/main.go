@@ -94,7 +94,7 @@ func run(w io.Writer, cfg config) error {
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
-	st, err := store.LoadAny(dataPath)
+	st, err := store.LoadAnyMapped(dataPath)
 	if err != nil {
 		return err
 	}

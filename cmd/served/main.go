@@ -66,6 +66,7 @@ func main() {
 		update  = flag.Bool("allow-update", false, "enable POST /update (SPARQL-Update INSERT DATA / DELETE DATA)")
 		upRun   = flag.String("updaterun", "", "SPARQL-Update text (or @file) applied once at startup before serving")
 		compact = flag.Int("compact-threshold", 0, "pending delta size that triggers auto-compaction on update (0 = adaptive max(1024, base/8), negative = never)")
+		heap    = flag.Bool("heap-load", false, "fully deserialize snapshots into heap indexes instead of serving v4 snapshots from an OS file mapping")
 
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth query and retain it in the /trace/recent ring (0 = off)")
 		slowMs      = flag.Int("slow-query-ms", 0, "trace every query and retain+log any at or above this many milliseconds (0 = off)")
@@ -85,6 +86,7 @@ func main() {
 	opts.AllowReload = *reload
 	opts.AllowUpdate = *update
 	opts.CompactThreshold = *compact
+	opts.HeapLoad = *heap
 	opts.TraceSample = *traceSample
 	opts.SlowQueryMs = *slowMs
 	opts.TraceRecent = *traceRecent

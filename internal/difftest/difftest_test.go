@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/store"
 )
 
@@ -251,6 +253,88 @@ func TestDifferentialAlgebra(t *testing.T) {
 			if ovl != reb {
 				reportFailure(t, sc, text, fmt.Errorf(
 					"overlay result diverges from rebuilt store\n--- overlay\n%s\n--- rebuilt\n%s", ovl, reb))
+			}
+		}
+	}
+}
+
+// mappedWorld rebuilds a scenario's world over an mmap-style base: the base
+// store is serialized as a v4 snapshot, reopened through OpenMappedBytes
+// (zero-deserialization, bounds-checked accessors), and the scenario's
+// update history is replayed on top of it, yielding a Delta overlay whose
+// bottom layer is mapped memory. The v4 writer emits terms in dictionary ID
+// order, so the mapped world assigns byte-identical IDs, statistics and
+// therefore plans.
+func mappedWorld(t *testing.T, sc *Scenario) (base, overlay *store.Store) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sc.Base.WriteSnapshotVersion(&buf, 4); err != nil {
+		reportFailure(t, sc, "", fmt.Errorf("write v4: %w", err))
+	}
+	mapped, err := store.OpenMappedBytes(buf.Bytes())
+	if err != nil {
+		reportFailure(t, sc, "", fmt.Errorf("open mapped: %w", err))
+	}
+	if mapped.Backend() != "mapped" {
+		reportFailure(t, sc, "", fmt.Errorf("base backend = %q, want mapped", mapped.Backend()))
+	}
+	d := mapped.NewDelta()
+	for _, u := range sc.Updates {
+		d, err = exec.ApplyUpdateDelta(d, u)
+		if err != nil {
+			reportFailure(t, sc, "", fmt.Errorf("replay update over mapped base: %w", err))
+		}
+	}
+	return mapped, d.Overlay()
+}
+
+// TestDifferentialMappedBase is the mmap-backed cell of the matrix: every
+// engine configuration (streaming and columnar, serial and at Parallelism 2
+// and 8) over the pristine mapped store and over a Delta overlay whose base
+// is mapped memory must be byte-identical — rows AND accounting — to the
+// heap-backed reference world.
+func TestDifferentialMappedBase(t *testing.T) {
+	const queriesPerScenario = 15
+	for _, seed := range seedsUnderTest(t) {
+		sc, err := GenScenario(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mbase, movl := mappedWorld(t, sc)
+		if mbase.Len() != sc.Base.Len() || movl.Len() != sc.Overlay.Len() {
+			reportFailure(t, sc, "", fmt.Errorf("mapped world sizes %d/%d != heap %d/%d",
+				mbase.Len(), movl.Len(), sc.Base.Len(), sc.Overlay.Len()))
+		}
+		qrng := rand.New(rand.NewSource(sc.Seed * 3571))
+		for qi := 0; qi < queriesPerScenario; qi++ {
+			q, err := sc.GenQuery(qrng)
+			if err != nil {
+				reportFailure(t, sc, "", err)
+			}
+			text := q.String()
+			heapBase, err := RunQuery(q, sc.Base, "pristine-heap")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			mapBase, err := RunQuery(q, mbase, "pristine-mapped")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			if mapBase != heapBase {
+				reportFailure(t, sc, text, fmt.Errorf(
+					"mapped base diverges from heap base\n--- heap\n%s\n--- mapped\n%s", heapBase, mapBase))
+			}
+			heapOvl, err := RunQuery(q, sc.Overlay, "overlay-heap")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			mapOvl, err := RunQuery(q, movl, "overlay-mapped")
+			if err != nil {
+				reportFailure(t, sc, text, err)
+			}
+			if mapOvl != heapOvl {
+				reportFailure(t, sc, text, fmt.Errorf(
+					"mapped overlay diverges from heap overlay\n--- heap\n%s\n--- mapped\n%s", heapOvl, mapOvl))
 			}
 		}
 	}

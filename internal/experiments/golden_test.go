@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"testing"
@@ -347,6 +348,87 @@ func TestGoldenAlgebraEngines(t *testing.T) {
 					if err := equalResults(res, sres); err != nil {
 						t.Errorf("%s binding %d mode %d parallelism %d: %v", g.name, bi, mode, par, err)
 					}
+				}
+			}
+		}
+	}
+}
+
+// mappedCopy round-trips a store through a v4 snapshot and reopens it from
+// the in-memory image with zero deserialization — the experiment-scale
+// equivalent of serving from an OS file mapping. The v4 writer emits terms
+// in dictionary ID order, so the mapped copy assigns identical IDs and
+// exact identical statistics, making results comparable ID-for-ID.
+func mappedCopy(t *testing.T, st *store.Store) *store.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.WriteSnapshotVersion(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.OpenMappedBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Backend() != "mapped" {
+		t.Fatalf("backend = %q, want mapped", m.Backend())
+	}
+	return m
+}
+
+// TestGoldenMappedBase: every engine — materializing, streaming, columnar
+// and columnar+leapfrog, the latter three at Parallelism 1, 2 and 8 — must
+// produce bit-identical results (Vars, Rows, row order, Cout, Work,
+// Scanned) over the mmap-backed store and the heap store, for every golden
+// template and curated binding.
+func TestGoldenMappedBase(t *testing.T) {
+	env := sharedEnv(t)
+	mappedBSBM := mappedCopy(t, env.BSBM)
+	mappedSNB := mappedCopy(t, env.SNB)
+	type engineRun struct {
+		name string
+		opts exec.Options
+	}
+	runs := []engineRun{{"materializing", exec.Options{Mode: exec.Materializing}}}
+	for _, par := range []int{1, 2, 8} {
+		ms := 0
+		if par > 1 {
+			ms = 128
+		}
+		runs = append(runs,
+			engineRun{fmt.Sprintf("streaming-p%d", par), exec.Options{Mode: exec.Streaming, Parallelism: par, MorselSize: ms}},
+			engineRun{fmt.Sprintf("columnar-p%d", par), exec.Options{Mode: exec.Columnar, Parallelism: par, MorselSize: ms}},
+			engineRun{fmt.Sprintf("leapfrog-p%d", par), exec.Options{Mode: exec.Columnar, Leapfrog: true, Parallelism: par, MorselSize: ms}},
+		)
+	}
+	for _, g := range goldenTemplates() {
+		heap, mapped := env.BSBM, mappedBSBM
+		if g.snb {
+			heap, mapped = env.SNB, mappedSNB
+		}
+		bindings := curatedBindings(t, g.tmpl, heap, 3)
+		if len(bindings) < 3 {
+			t.Fatalf("%s: only %d curated bindings", g.name, len(bindings))
+		}
+		for bi, b := range bindings {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			for _, run := range runs {
+				hres, hplan, err := exec.Query(bound, heap, run.opts)
+				if err != nil {
+					t.Fatalf("%s binding %d %s heap: %v", g.name, bi, run.name, err)
+				}
+				mres, mplan, err := exec.Query(bound, mapped, run.opts)
+				if err != nil {
+					t.Fatalf("%s binding %d %s mapped: %v", g.name, bi, run.name, err)
+				}
+				if hplan.Signature != mplan.Signature {
+					t.Fatalf("%s binding %d %s: plans diverge over mapped base: %s vs %s",
+						g.name, bi, run.name, hplan.Signature, mplan.Signature)
+				}
+				if err := equalResults(mres, hres); err != nil {
+					t.Errorf("%s binding %d %s: mapped diverges from heap: %v", g.name, bi, run.name, err)
 				}
 			}
 		}

@@ -141,6 +141,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	defer out.Close()
 	writeJSON(w, http.StatusOK, payload(out, req.MaxRows))
 }
 
@@ -207,6 +208,7 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
+		defer out.Close()
 		writeJSON(w, http.StatusOK, payload(out, req.MaxRows))
 		return
 	}
@@ -231,6 +233,7 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 	resp := executeResponse{Results: make([]resultPayload, len(outs))}
 	for i, out := range outs {
 		resp.Results[i] = payload(out, req.MaxRows)
+		out.Close()
 	}
 	if len(req.Batch) == 0 {
 		// Single-binding form: return the bare result object.

@@ -28,6 +28,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.gauge("repro_store_pending_inserts", "Pending delta inserts merged in on read.", float64(st.Store.PendingInserts))
 	m.gauge("repro_store_pending_deletes", "Pending delta deletes merged in on read.", float64(st.Store.PendingDeletes))
 	m.counter("repro_store_generation", "Current snapshot generation (increments on every swap).", float64(st.Store.Generation))
+	mapped := 0.0
+	if st.Store.Backend == "mapped" {
+		mapped = 1
+	}
+	m.gauge("repro_store_mapped", "1 when the current snapshot serves from an mmap-backed v4 file, 0 for heap.", mapped)
+	m.gauge("repro_store_mapped_bytes", "Bytes of the snapshot file mapping backing the current store (0 for heap).", float64(st.Store.MappedBytes))
+	m.gauge("repro_store_mappings_awaiting_unmap", "Retired mmap-backed generations still pinned by in-flight queries.", float64(st.Store.MappingsAwaitingUnmap))
 
 	m.counter("repro_updates_total", "Applied update requests.", float64(st.Updates.Updates))
 	m.counter("repro_compactions_total", "Snapshots that folded the pending delta into a fresh store.", float64(st.Updates.Compactions))

@@ -91,6 +91,12 @@ type Options struct {
 	PlanCacheSize int
 	// Exec are the execution options every query runs with.
 	Exec exec.Options
+	// HeapLoad forces Load/Reload to fully deserialize snapshots into heap
+	// stores even when the file is in the v4 mapped layout. Default off: v4
+	// snapshots are served straight from an OS file mapping
+	// (store.OpenMapped) with O(1) open cost. cmd/served exposes this as
+	// -heap-load.
+	HeapLoad bool
 	// AllowReload enables the HTTP POST /reload endpoint, which loads any
 	// server-readable path a client names. Off by default — enable only
 	// when the listener is trusted (cmd/served -allow-reload). The
@@ -170,14 +176,87 @@ func (o Options) normalized() Options {
 
 // snapState is one immutable snapshot generation: the store, its plan cache
 // (cached plans embed this store's dictionary IDs, so the cache lives and
-// dies with the snapshot) and bookkeeping. Requests load the pointer once
-// and use the same state for their whole execution, so a concurrent swap
+// dies with the snapshot) and bookkeeping. Requests pin the state once
+// (pinState) and use it for their whole execution, so a concurrent swap
 // never mixes stores mid-query.
+//
+// The pin count is what makes /reload over mmap-backed stores safe: it
+// starts at 1 (the published reference, dropped when a swap retires the
+// generation) and counts one per in-flight query. A mapped generation
+// holds its own reference on the store's Mapping, released only when the
+// last pin drops — so the munmap syscall is deferred until every query
+// whose result rows and dictionary still point into the old mapping has
+// drained.
 type snapState struct {
 	store  *store.Store
 	gen    uint64
 	source string
 	cache  *planCache
+
+	svc     *Service
+	mapping *store.Mapping // generation's retained mapping ref, nil for heap
+	pins    atomic.Int64   // published ref + in-flight queries
+	retired atomic.Bool    // set when a swap replaced this generation
+}
+
+// newState builds a snapshot generation with the published pin, retaining
+// its own reference on the store's mapping (if any).
+func (s *Service) newState(st *store.Store, gen uint64, source string) *snapState {
+	ss := &snapState{
+		store:  st,
+		gen:    gen,
+		source: source,
+		cache:  newPlanCache(s.opts.PlanCacheSize, &s.cacheCtr),
+		svc:    s,
+	}
+	ss.pins.Store(1)
+	if m := st.Mapping(); m != nil && m.Retain() {
+		ss.mapping = m
+	}
+	return ss
+}
+
+// tryPin takes a pin unless the generation has already fully drained.
+func (ss *snapState) tryPin() bool {
+	for {
+		n := ss.pins.Load()
+		if n <= 0 {
+			return false
+		}
+		if ss.pins.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// pin adds a pin; the caller must already hold one.
+func (ss *snapState) pin() { ss.pins.Add(1) }
+
+// unpin drops one pin; the last drop releases the generation's mapping
+// reference (unmapping the file once no other generation shares it) and
+// clears it from the awaiting-unmap gauge.
+func (ss *snapState) unpin() {
+	if ss.pins.Add(-1) != 0 {
+		return
+	}
+	if ss.mapping != nil {
+		ss.mapping.Release()
+		if ss.retired.Load() {
+			ss.svc.retiredMapped.Add(-1)
+		}
+	}
+}
+
+// pinState returns the current generation with a pin taken. The retry
+// loop covers the race where a swap retires the loaded state and its last
+// pin drops between Load and tryPin.
+func (s *Service) pinState() *snapState {
+	for {
+		st := s.state.Load()
+		if st.tryPin() {
+			return st
+		}
+	}
 }
 
 // Prepared is a registered query template: parsed once, executed per
@@ -249,6 +328,10 @@ type Service struct {
 	state  atomic.Pointer[snapState]
 	swapMu sync.Mutex // serializes Swap/Reload
 
+	// retiredMapped gauges retired mmap-backed generations whose mapping
+	// reference is still held open by in-flight queries.
+	retiredMapped atomic.Int64
+
 	cacheCtr cacheCounters
 
 	// pool is the shared CPU budget: one token per admitted query, plus
@@ -307,23 +390,37 @@ func New(st *store.Store, source string, opts Options) *Service {
 	}
 	// Intra-query workers draw from the admission pool: one CPU budget.
 	s.opts.Exec.Pool = s.pool
-	s.state.Store(&snapState{
-		store:  st,
-		gen:    1,
-		source: source,
-		cache:  newPlanCache(opts.PlanCacheSize, &s.cacheCtr),
-	})
+	s.state.Store(s.newState(st, 1, source))
 	return s
 }
 
-// Load opens path with store.LoadAny (snapshot or N-Triples, auto-detected)
-// and returns a Service over it.
+// Load opens path (snapshot or N-Triples, auto-detected) and returns a
+// Service over it. v4 snapshots are served mmap-backed unless
+// Options.HeapLoad forces full deserialization; either way the service
+// owns the store's lifecycle (its generations hold the mapping open and
+// the last drained one unmaps it).
 func Load(path string, opts Options) (*Service, error) {
-	st, err := store.LoadAny(path)
+	st, err := loadStore(path, opts.HeapLoad)
 	if err != nil {
 		return nil, err
 	}
-	return New(st, path, opts), nil
+	s := New(st, path, opts)
+	// New retained the service's own mapping reference; drop the creation
+	// reference so the mapping's lifetime is governed entirely by snapshot
+	// generations.
+	if m := st.Mapping(); m != nil {
+		m.Release()
+	}
+	return s, nil
+}
+
+// loadStore resolves the configured loading path: mapped open for v4
+// files by default, full heap deserialization when forced.
+func loadStore(path string, heapLoad bool) (*store.Store, error) {
+	if heapLoad {
+		return store.LoadAny(path)
+	}
+	return store.LoadAnyMapped(path)
 }
 
 // Store returns the current snapshot's store.
@@ -343,28 +440,39 @@ func (s *Service) Swap(st *store.Store, source string) uint64 {
 	return s.swapLocked(st, source)
 }
 
-// swapLocked publishes st as the next generation; the caller holds swapMu.
+// swapLocked publishes st as the next generation and retires the old one:
+// its published pin is dropped, and if it was mmap-backed its mapping
+// stays open (gauged as awaiting unmap) until the last in-flight query
+// over it drains. The caller holds swapMu.
 func (s *Service) swapLocked(st *store.Store, source string) uint64 {
-	gen := s.state.Load().gen + 1
-	s.state.Store(&snapState{
-		store:  st,
-		gen:    gen,
-		source: source,
-		cache:  newPlanCache(s.opts.PlanCacheSize, &s.cacheCtr),
-	})
+	old := s.state.Load()
+	gen := old.gen + 1
+	s.state.Store(s.newState(st, gen, source))
+	old.retired.Store(true)
+	if old.mapping != nil {
+		s.retiredMapped.Add(1)
+	}
+	old.unpin()
 	return gen
 }
 
-// Reload loads path (snapshot or N-Triples) and swaps it in, returning the
-// new generation and its triple count (from the loaded store itself, so a
-// racing Reload cannot skew the pair). The load happens outside any lock;
-// queries are served from the old snapshot until the swap point.
+// Reload loads path (snapshot or N-Triples; v4 snapshots map in O(1)
+// unless Options.HeapLoad) and swaps it in, returning the new generation
+// and its triple count (from the loaded store itself, so a racing Reload
+// cannot skew the pair). The load happens outside any lock; queries are
+// served from the old snapshot until the swap point, and queries in
+// flight over a retired mapped snapshot keep it mapped until they drain.
 func (s *Service) Reload(path string) (gen uint64, triples int, err error) {
-	st, err := store.LoadAny(path)
+	st, err := loadStore(path, s.opts.HeapLoad)
 	if err != nil {
 		return 0, 0, err
 	}
-	return s.Swap(st, path), st.Len(), nil
+	gen = s.Swap(st, path)
+	triples = st.Len()
+	if m := st.Mapping(); m != nil {
+		m.Release() // the new generation holds its own reference
+	}
+	return gen, triples, nil
 }
 
 // UpdateResult describes one applied update.
@@ -565,6 +673,24 @@ type Outcome struct {
 	// with RunOptions.Analyze.
 	Analyze string
 	Trace   *obs.Span
+
+	closed atomic.Bool
+	unpin  func()
+}
+
+// Close releases the snapshot pin the outcome holds. Call it once the
+// result has been consumed (rows decoded, payload rendered): over an
+// mmap-backed snapshot the result rows and dictionary point into the
+// mapping, and the pin is what keeps a since-reloaded snapshot mapped.
+// Close is idempotent and safe on a nil outcome; never closing merely
+// delays the old mapping's unmap until process exit.
+func (o *Outcome) Close() {
+	if o == nil || o.unpin == nil {
+		return
+	}
+	if o.closed.CompareAndSwap(false, true) {
+		o.unpin()
+	}
 }
 
 // RunOptions are per-request execution options beyond the binding.
@@ -627,7 +753,14 @@ func (s *Service) ExecuteWith(ctx context.Context, p *Prepared, b sparql.Binding
 	}
 	defer release()
 	m := runMeta{endpoint: "execute", template: p.Name, admitWait: time.Since(start), analyze: ro.Analyze}
-	return s.run(ctx, s.state.Load(), p.tmpl, p.Text, b, m)
+	st := s.pinState()
+	out, err = s.run(ctx, st, p.tmpl, p.Text, b, m)
+	if err != nil {
+		st.unpin()
+		return nil, err
+	}
+	out.unpin = st.unpin
+	return out, nil
 }
 
 // ExecuteBatch runs the prepared template once per binding, under a single
@@ -647,13 +780,21 @@ func (s *Service) ExecuteBatch(ctx context.Context, p *Prepared, bindings []spar
 	}
 	defer release()
 	m := runMeta{endpoint: "execute", template: p.Name, admitWait: time.Since(start)}
-	st := s.state.Load()
+	st := s.pinState()
+	defer st.unpin()
 	out = make([]*Outcome, 0, len(bindings))
 	for i, b := range bindings {
 		o, err := s.run(ctx, st, p.tmpl, p.Text, b, m)
 		if err != nil {
+			for _, done := range out {
+				done.Close()
+			}
 			return nil, fmt.Errorf("batch item %d: %w", i, err)
 		}
+		// Each outcome pins independently (under the batch pin held above),
+		// so callers can Close results one by one.
+		st.pin()
+		o.unpin = st.unpin
 		out = append(out, o)
 	}
 	return out, nil
@@ -683,7 +824,14 @@ func (s *Service) QueryWith(ctx context.Context, text string, b sparql.Binding, 
 	if err != nil {
 		return nil, badInput(err)
 	}
-	return s.run(ctx, s.state.Load(), q, q.String(), b, m)
+	st := s.pinState()
+	out, err = s.run(ctx, st, q, q.String(), b, m)
+	if err != nil {
+		st.unpin()
+		return nil, err
+	}
+	out.unpin = st.unpin
+	return out, nil
 }
 
 // run executes one (template, binding) pair against the pinned snapshot
@@ -1009,6 +1157,16 @@ type StoreStats struct {
 	BaseTriples    int    `json:"base_triples"`
 	PendingInserts int    `json:"pending_inserts"`
 	PendingDeletes int    `json:"pending_deletes"`
+	// Backend is the snapshot's index backing: "heap" for deserialized
+	// stores, "mapped" for stores served from an mmap'd v4 snapshot.
+	Backend string `json:"backend"`
+	// MappedBytes is the size of the snapshot file mapping backing the
+	// current store (0 for heap).
+	MappedBytes int `json:"mapped_bytes"`
+	// MappingsAwaitingUnmap counts retired mmap-backed generations still
+	// held open by in-flight queries (each unmaps when its last query
+	// drains).
+	MappingsAwaitingUnmap int64 `json:"mappings_awaiting_unmap"`
 }
 
 // UpdateStats describe the update path since startup.
@@ -1070,10 +1228,13 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	st := s.state.Load()
 	storeStats := StoreStats{
-		Triples:     st.store.Len(),
-		Generation:  st.gen,
-		Source:      st.source,
-		BaseTriples: st.store.Len(),
+		Triples:               st.store.Len(),
+		Generation:            st.gen,
+		Source:                st.source,
+		BaseTriples:           st.store.Len(),
+		Backend:               st.store.Backend(),
+		MappedBytes:           st.store.MappedBytes(),
+		MappingsAwaitingUnmap: s.retiredMapped.Load(),
 	}
 	if d := st.store.Delta(); d != nil {
 		storeStats.BaseTriples = d.Base().Len()

@@ -321,6 +321,7 @@ func (d *Delta) Overlay() *Store {
 	s := &Store{
 		dict:  base.dict,
 		n:     base.n - d.DeleteCount() + d.InsertCount(),
+		src:   base.src, // overlay shares the base's backing, heap or mapped
 		idx:   base.idx,
 		delta: d,
 	}

@@ -20,6 +20,24 @@ func LoadAny(path string) (*Store, error) {
 	return LoadAnyReader(f)
 }
 
+// LoadAnyMapped is LoadAny that serves v4 snapshots straight from an OS
+// file mapping: a v4 file comes back as an OpenMapped store in O(1) with
+// no deserialization, every other format falls through to the heap path.
+// It is what cmd/served uses by default (see its -heap-load flag).
+func LoadAnyMapped(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	f.Close()
+	if n == 8 && string(magic[:]) == snapshotMagicV4 {
+		return OpenMapped(path)
+	}
+	return LoadAny(path)
+}
+
 // LoadAnyReader is LoadAny over an already-open reader. The format sniff
 // reads the first 8 bytes and stitches them back with io.MultiReader, so
 // non-seekable inputs (pipes, process substitution) work too.

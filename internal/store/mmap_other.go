@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mmapFile on platforms without the unix mmap syscall falls back to
+// reading the file into memory. OpenMapped still works — same format,
+// same O(1) validation, same bounds-checked accessors — it just pays a
+// one-time sequential read instead of demand paging.
+func mmapFile(path string) ([]byte, func([]byte) error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

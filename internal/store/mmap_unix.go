@@ -1,0 +1,38 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The returned unmap function releases the
+// mapping (invoked by Mapping.Release when the last reference drops).
+func mmapFile(path string) ([]byte, func([]byte) error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		// mmap of length 0 is an error; an empty file fails header
+		// validation anyway, with a clearer message than EINVAL.
+		return nil, func([]byte) error { return nil }, nil
+	}
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("store: %s: %d bytes exceeds the addressable size", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return data, syscall.Munmap, nil
+}

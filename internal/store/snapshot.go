@@ -89,10 +89,11 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 }
 
 // WriteSnapshotVersion serializes the store in the requested format
-// version (1, 2 or 3). v1 exists so older readers and size/speed
-// comparisons keep working; v1 and v2 fold a pending delta into the
+// version (1, 2, 3 or 4). v1 exists so older readers and size/speed
+// comparisons keep working; v1, v2 and v4 fold a pending delta into the
 // triple stream (data-lossless, overlay structure dropped), v3 keeps
-// base and delta separate.
+// base and delta separate. v4 is the page-aligned disk-native layout
+// (see snapshot_v4.go) that OpenMapped serves without deserialization.
 func (s *Store) WriteSnapshotVersion(w io.Writer, version int) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	switch version {
@@ -108,8 +109,12 @@ func (s *Store) WriteSnapshotVersion(w io.Writer, version int) error {
 		if err := s.writeV3(bw); err != nil {
 			return err
 		}
+	case 4:
+		if err := s.writeV4(bw); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("store: unknown snapshot version %d (want 1, 2 or 3)", version)
+		return fmt.Errorf("store: unknown snapshot version %d (want 1, 2, 3 or 4)", version)
 	}
 	return bw.Flush()
 }
@@ -326,6 +331,8 @@ func ReadSnapshotOpts(r io.Reader, opts BuildOptions) (*Store, error) {
 		d, triples, err = readV2(br)
 	case snapshotMagicV3:
 		return readV3(br, opts)
+	case snapshotMagicV4:
+		return readV4Heap(br, magic, opts)
 	default:
 		return nil, fmt.Errorf("store: bad snapshot magic %q", magic)
 	}

@@ -274,7 +274,7 @@ func TestSnapshotV2Truncated(t *testing.T) {
 func TestSnapshotBadVersionArg(t *testing.T) {
 	st, _ := buildTestStore(t)
 	var buf bytes.Buffer
-	if err := st.WriteSnapshotVersion(&buf, 4); err == nil {
+	if err := st.WriteSnapshotVersion(&buf, 5); err == nil {
 		t.Fatal("unknown snapshot version should fail")
 	}
 }

@@ -67,11 +67,46 @@ func (p Pattern) boundMask() int {
 type Store struct {
 	dict    *dict.Dict
 	n       int
-	idx     [numOrders][]IDTriple
+	src     TripleSource          // backing of idx: heap or mmap (see mapping.go)
+	idx     [numOrders][]IDTriple // cached src views; all read paths go through these
 	pstats  map[dict.ID]PredStats
 	typeIdx map[dict.ID][]dict.ID // rdf:type class -> sorted subject IDs
 	typeID  dict.ID               // ID of rdf:type, or None if absent
 	delta   *Delta                // non-nil for overlay snapshots
+}
+
+// Backend names the store's index backing: "heap" for built/deserialized
+// stores, "mapped" for stores opened over a v4 snapshot image.
+func (s *Store) Backend() string {
+	if s.src == nil {
+		return "heap"
+	}
+	return s.src.Backend()
+}
+
+// Mapping returns the refcounted snapshot mapping backing this store, or
+// nil for a heap store. Overlay stores and deltas over a mapped base
+// report the base's mapping (their dictionary and base indexes point into
+// it); Commit produces heap indexes but keeps the mapped dictionary base,
+// so committed stores report it too.
+func (s *Store) Mapping() *Mapping {
+	if s.src != nil {
+		if m := s.src.Mapping(); m != nil {
+			return m
+		}
+	}
+	if mt, ok := s.dict.Base().(*mappedTerms); ok {
+		return mt.mapping()
+	}
+	return nil
+}
+
+// MappedBytes returns the size of the backing mapping, 0 for heap stores.
+func (s *Store) MappedBytes() int {
+	if m := s.Mapping(); m != nil {
+		return m.Size()
+	}
+	return 0
 }
 
 // PredStats holds exact per-predicate statistics used by the cardinality
