@@ -917,6 +917,47 @@ func BenchmarkExecParallel2(b *testing.B) { benchExecParallel(b, 2) }
 // acceptance target is >= 2x over BenchmarkExecParallel1.
 func BenchmarkExecParallel8(b *testing.B) { benchExecParallel(b, 8) }
 
+// benchShardedScatterGather times the same hoisted Q3 drill-down through
+// a subject-hash sharded federation: per-shard cursors k-way merge back
+// into the exact global index stream, so rows and accounting are
+// bit-identical to the single-store run at any shard count. The 1-shard
+// and 4-shard variants bracket the coordinator overhead benchdiff gates.
+func benchShardedScatterGather(b *testing.B, shards int) {
+	st, binding := benchParallelSetup(b)
+	sh := store.NewSharded(st, shards)
+	bound, err := bsbm.Q3().Bind(binding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := plan.Compile(bound, sh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Optimize(c, plan.NewEstimator(sh))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *exec.Result
+	for i := 0; i < b.N; i++ {
+		res, err = exec.Run(c, p, sh, exec.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Rows)), "rows")
+	b.ReportMetric(res.Work, "work")
+}
+
+// BenchmarkShardedScatterGather1 is the degenerate single-shard
+// federation: its delta over BenchmarkExecParallel1 is the pure cost of
+// the coordinator seam.
+func BenchmarkShardedScatterGather1(b *testing.B) { benchShardedScatterGather(b, 1) }
+
+// BenchmarkShardedScatterGather4 merges four subject-hash shards on
+// every scan; rows, Work and Cout stay identical to the 1-shard run.
+func BenchmarkShardedScatterGather4(b *testing.B) { benchShardedScatterGather(b, 4) }
+
 // --- Query service -----------------------------------------------------------
 
 // benchServeSetup builds a query service over the BSBM store with the given

@@ -27,15 +27,34 @@ func main() {
 		out     = flag.String("out", "", "output file (default stdout)")
 		format  = flag.String("format", "nt", "output format: nt (N-Triples) | snapshot (binary store snapshot)")
 		snapVer = flag.Int("snapshot-version", 2, "snapshot format version: 2 (varint+delta, default) | 1 (fixed-width, legacy) | 3 (partitioned stats) | 4 (page-aligned, mmap-servable)")
+		shards  = flag.Int("shards", 0, "with -format snapshot: write a sharded snapshot directory at -out (this many subject-hash shard files, each v4 mmap-servable, plus a manifest)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *seed, *out, *format, *snapVer); err != nil {
+	if err := run(*dataset, *scale, *seed, *out, *format, *snapVer, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, scale string, seed int64, out, format string, snapVer int) error {
+func run(dataset, scale string, seed int64, out, format string, snapVer, shards int) error {
+	if shards > 1 {
+		if format != "snapshot" {
+			return fmt.Errorf("-shards requires -format snapshot")
+		}
+		if out == "" {
+			return fmt.Errorf("-shards requires -out (a directory path)")
+		}
+		b := store.NewBuilder()
+		if err := generate(dataset, scale, seed, b.Add); err != nil {
+			return err
+		}
+		sh := store.NewSharded(b.Build(), shards)
+		if err := store.WriteSharded(out, sh); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "datagen: wrote sharded snapshot (%d shards, %d triples) to %s\n", sh.NumShards(), sh.Len(), out)
+		return nil
+	}
 	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)

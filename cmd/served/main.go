@@ -67,6 +67,7 @@ func main() {
 		upRun   = flag.String("updaterun", "", "SPARQL-Update text (or @file) applied once at startup before serving")
 		compact = flag.Int("compact-threshold", 0, "pending delta size that triggers auto-compaction on update (0 = adaptive max(1024, base/8), negative = never)")
 		heap    = flag.Bool("heap-load", false, "fully deserialize snapshots into heap indexes instead of serving v4 snapshots from an OS file mapping")
+		shards  = flag.Int("shards", 0, "coordinator mode: partition the store into this many subject-hash shards and scatter-gather every query across them (results and accounting are identical at any shard count; <= 1 serves a single store)")
 
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth query and retain it in the /trace/recent ring (0 = off)")
 		slowMs      = flag.Int("slow-query-ms", 0, "trace every query and retain+log any at or above this many milliseconds (0 = off)")
@@ -87,6 +88,7 @@ func main() {
 	opts.AllowUpdate = *update
 	opts.CompactThreshold = *compact
 	opts.HeapLoad = *heap
+	opts.Shards = *shards
 	opts.TraceSample = *traceSample
 	opts.SlowQueryMs = *slowMs
 	opts.TraceRecent = *traceRecent

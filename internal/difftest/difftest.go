@@ -444,7 +444,7 @@ func CanonicalRows(d *dict.Dict, res *exec.Result) string {
 // (all byte-identical) and the leapfrog matrix (byte-identical to each
 // other at Parallelism 1, 2 and 8; sorted-row-multiset identical to the
 // strict reference). It returns the strict canonical result.
-func RunStarQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
+func RunStarQuery(q *sparql.Query, st store.Source, label string) (string, error) {
 	ref, err := RunQuery(q, st, label)
 	if err != nil {
 		return "", err
@@ -482,7 +482,7 @@ func RunStarQuery(q *sparql.Query, st *store.Store, label string) (string, error
 // RunQuery executes q over st with every engine configuration and checks
 // all results agree; it returns the canonical result, or an error naming
 // the first diverging engine pair.
-func RunQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
+func RunQuery(q *sparql.Query, st store.Source, label string) (string, error) {
 	var ref string
 	var refName string
 	for _, er := range EngineMatrix() {
@@ -584,7 +584,7 @@ func (sc *Scenario) GenAlgebraQuery(rng *rand.Rand) (*sparql.Query, error) {
 // RunAlgebraQuery executes q through the algebra engine matrix and checks
 // all cells agree byte-identically in rows AND accounting; it also
 // asserts the materializing engine rejects q with ErrUnsupportedConstruct.
-func RunAlgebraQuery(q *sparql.Query, st *store.Store, label string) (string, error) {
+func RunAlgebraQuery(q *sparql.Query, st store.Source, label string) (string, error) {
 	if _, _, err := exec.Query(q, st, exec.Options{Mode: exec.Materializing}); !errors.Is(err, exec.ErrUnsupportedConstruct) {
 		return "", fmt.Errorf("%s/materializing: error = %v, want ErrUnsupportedConstruct", label, err)
 	}

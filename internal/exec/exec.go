@@ -200,7 +200,7 @@ func (r *relation) colIndex(v sparql.Var) int {
 
 // executor carries per-run state.
 type executor struct {
-	st      *store.Store
+	st      store.Source
 	ctx     context.Context
 	opts    Options
 	cout    float64
@@ -244,14 +244,14 @@ func (ex *executor) parallelism() int {
 // Run executes the plan p for compiled query c against st with the engine
 // selected by opts.Mode. The two engines return bit-identical Results
 // (including the Cout/Work/Scanned accounting) for the same options.
-func Run(c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
+func Run(c *plan.Compiled, p *plan.Plan, st store.Source, opts Options) (*Result, error) {
 	return RunCtx(context.Background(), c, p, st, opts)
 }
 
 // RunCtx is Run under a context: cancelling ctx aborts the execution at the
 // next operator batch boundary and returns the context's error. The
 // accounting of a completed (non-cancelled) run is identical to Run's.
-func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
+func RunCtx(ctx context.Context, c *plan.Compiled, p *plan.Plan, st store.Source, opts Options) (*Result, error) {
 	start := time.Now()
 	ex := &executor{st: st, ctx: ctx, opts: opts}
 	if opts.Trace != nil {

@@ -38,7 +38,7 @@ type lfIter struct {
 	comp   [3]dict.ID
 }
 
-func newLFIter(st *store.Store, cp *plan.CompiledPattern, trieLevel map[sparql.Var]int) *lfIter {
+func newLFIter(st store.Source, cp *plan.CompiledPattern, trieLevel map[sparql.Var]int) *lfIter {
 	type pv struct{ pos, level int }
 	var pvs []pv
 	posVar := [3]sparql.Var{cp.VarS, cp.VarP, cp.VarO}

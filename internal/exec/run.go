@@ -9,7 +9,7 @@ import (
 // Query runs the full pipeline — compile, optimize (exact DP where
 // feasible), execute — and returns both the result and the plan that
 // produced it.
-func Query(q *sparql.Query, st *store.Store, opts Options) (*Result, *plan.Plan, error) {
+func Query(q *sparql.Query, st store.Source, opts Options) (*Result, *plan.Plan, error) {
 	c, err := plan.Compile(q, st)
 	if err != nil {
 		return nil, nil, err
@@ -26,7 +26,7 @@ func Query(q *sparql.Query, st *store.Store, opts Options) (*Result, *plan.Plan,
 }
 
 // QueryGreedy is Query with the greedy optimizer, for ablations.
-func QueryGreedy(q *sparql.Query, st *store.Store, opts Options) (*Result, *plan.Plan, error) {
+func QueryGreedy(q *sparql.Query, st store.Source, opts Options) (*Result, *plan.Plan, error) {
 	c, err := plan.Compile(q, st)
 	if err != nil {
 		return nil, nil, err

@@ -354,6 +354,71 @@ func TestGoldenAlgebraEngines(t *testing.T) {
 	}
 }
 
+// TestGoldenShardInvariance: the headline sharding invariant. Every
+// engine — materializing, streaming, columnar and columnar+leapfrog, the
+// latter three at Parallelism 1, 2 and 8 — must produce bit-identical
+// results (Vars, Rows, row order, Cout, Work, Scanned) over subject-hash
+// sharded federations at 1 and 4 shards as over the plain store, for
+// every golden template and curated binding. Per-shard sorted runs over
+// disjoint subjects k-way merge into exactly the global index stream, so
+// plans, rows and accounting cannot depend on the shard count.
+func TestGoldenShardInvariance(t *testing.T) {
+	env := sharedEnv(t)
+	shardedBSBM := map[int]*store.Sharded{1: store.NewSharded(env.BSBM, 1), 4: store.NewSharded(env.BSBM, 4)}
+	shardedSNB := map[int]*store.Sharded{1: store.NewSharded(env.SNB, 1), 4: store.NewSharded(env.SNB, 4)}
+	type engineRun struct {
+		name string
+		opts exec.Options
+	}
+	runs := []engineRun{{"materializing", exec.Options{Mode: exec.Materializing}}}
+	for _, par := range []int{1, 2, 8} {
+		ms := 0
+		if par > 1 {
+			ms = 128
+		}
+		runs = append(runs,
+			engineRun{fmt.Sprintf("streaming-p%d", par), exec.Options{Mode: exec.Streaming, Parallelism: par, MorselSize: ms}},
+			engineRun{fmt.Sprintf("columnar-p%d", par), exec.Options{Mode: exec.Columnar, Parallelism: par, MorselSize: ms}},
+			engineRun{fmt.Sprintf("leapfrog-p%d", par), exec.Options{Mode: exec.Columnar, Leapfrog: true, Parallelism: par, MorselSize: ms}},
+		)
+	}
+	for _, g := range goldenTemplates() {
+		single, byCount := env.BSBM, shardedBSBM
+		if g.snb {
+			single, byCount = env.SNB, shardedSNB
+		}
+		bindings := curatedBindings(t, g.tmpl, single, 3)
+		if len(bindings) < 3 {
+			t.Fatalf("%s: only %d curated bindings", g.name, len(bindings))
+		}
+		for bi, b := range bindings {
+			bound, err := g.tmpl.Bind(b)
+			if err != nil {
+				t.Fatalf("%s binding %d: %v", g.name, bi, err)
+			}
+			for _, run := range runs {
+				sres, splan, err := exec.Query(bound, single, run.opts)
+				if err != nil {
+					t.Fatalf("%s binding %d %s single: %v", g.name, bi, run.name, err)
+				}
+				for _, shards := range []int{1, 4} {
+					res, plan, err := exec.Query(bound, byCount[shards], run.opts)
+					if err != nil {
+						t.Fatalf("%s binding %d %s shards=%d: %v", g.name, bi, run.name, shards, err)
+					}
+					if plan.Signature != splan.Signature {
+						t.Fatalf("%s binding %d %s shards=%d: plans diverge: %s vs %s",
+							g.name, bi, run.name, shards, plan.Signature, splan.Signature)
+					}
+					if err := equalResults(res, sres); err != nil {
+						t.Errorf("%s binding %d %s shards=%d: %v", g.name, bi, run.name, shards, err)
+					}
+				}
+			}
+		}
+	}
+}
+
 // mappedCopy round-trips a store through a v4 snapshot and reopens it from
 // the in-memory image with zero deserialization — the experiment-scale
 // equivalent of serving from an OS file mapping. The v4 writer emits terms

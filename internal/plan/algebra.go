@@ -155,7 +155,7 @@ func (a *AlgNode) render(b *strings.Builder, depth int) {
 // producing the algebra expression Join(BGP, unions...) left-joined with
 // each optional, with the group's filters attached to the expression
 // root. idx numbers patterns globally in compile order.
-func compileGroup(g *sparql.Group, st *store.Store, idx *int) (*AlgNode, error) {
+func compileGroup(g *sparql.Group, st store.Source, idx *int) (*AlgNode, error) {
 	var expr *AlgNode
 	if len(g.Patterns) > 0 {
 		leaf, err := compileBGP(g.Patterns, st, idx)
@@ -197,7 +197,7 @@ func compileGroup(g *sparql.Group, st *store.Store, idx *int) (*AlgNode, error) 
 }
 
 // compileBGP compiles one basic graph pattern leaf.
-func compileBGP(pats []sparql.TriplePattern, st *store.Store, idx *int) (*AlgNode, error) {
+func compileBGP(pats []sparql.TriplePattern, st store.Source, idx *int) (*AlgNode, error) {
 	leaf := &AlgNode{Kind: AlgBGP, Patterns: pats}
 	leaf.Compiled = compilePatterns(pats, st, idx)
 	return leaf, nil

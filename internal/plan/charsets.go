@@ -36,7 +36,7 @@ type charset struct {
 
 // BuildCharacteristicSets scans the store (SPO order: triples grouped by
 // subject) and aggregates the characteristic sets.
-func BuildCharacteristicSets(st *store.Store) *CharacteristicSets {
+func BuildCharacteristicSets(st store.Source) *CharacteristicSets {
 	cs := &CharacteristicSets{predCount: map[dict.ID]int{}}
 	all, _ := st.Match(store.Pattern{}) // SPO order: grouped by subject
 	type key string
@@ -185,7 +185,7 @@ type CharsetEstimator struct {
 }
 
 // NewCharsetEstimator builds the estimator for compiled query c.
-func NewCharsetEstimator(st *store.Store, cs *CharacteristicSets, c *Compiled) *CharsetEstimator {
+func NewCharsetEstimator(st store.Source, cs *CharacteristicSets, c *Compiled) *CharsetEstimator {
 	e := &CharsetEstimator{
 		base:      NewEstimator(st),
 		cs:        cs,

@@ -57,7 +57,7 @@ type Compiled struct {
 // Compile lowers a fully bound query (no parameters) onto a store's
 // dictionary. Constant terms missing from the dictionary are legal — the
 // pattern is marked Missing and has cardinality zero.
-func Compile(q *sparql.Query, st *store.Store) (*Compiled, error) {
+func Compile(q *sparql.Query, st store.Source) (*Compiled, error) {
 	if ps := q.Params(); len(ps) != 0 {
 		return nil, fmt.Errorf("plan: query has unbound parameters %v", ps)
 	}
@@ -82,7 +82,7 @@ func Compile(q *sparql.Query, st *store.Store) (*Compiled, error) {
 
 // compilePatterns lowers one basic graph pattern onto the dictionary,
 // numbering patterns from *idx onward (incrementing it).
-func compilePatterns(pats []sparql.TriplePattern, st *store.Store, idx *int) []CompiledPattern {
+func compilePatterns(pats []sparql.TriplePattern, st store.Source, idx *int) []CompiledPattern {
 	d := st.Dict()
 	out := make([]CompiledPattern, 0, len(pats))
 	for _, tp := range pats {

@@ -29,14 +29,14 @@ type Model interface {
 // use the classical independence assumption with per-variable
 // distinct-value counts.
 type Estimator struct {
-	st *store.Store
+	st store.Source
 }
 
 // NewEstimator returns an estimator over st.
-func NewEstimator(st *store.Store) *Estimator { return &Estimator{st: st} }
+func NewEstimator(st store.Source) *Estimator { return &Estimator{st: st} }
 
 // Store returns the underlying store.
-func (e *Estimator) Store() *store.Store { return e.st }
+func (e *Estimator) Store() store.Source { return e.st }
 
 // PatternCard returns the exact cardinality of a compiled pattern.
 func (e *Estimator) PatternCard(cp CompiledPattern) float64 {

@@ -39,7 +39,7 @@ const DefaultSampleSize = 512
 
 // NewSamplingEstimator precomputes pairwise join selectivities for the
 // compiled query c. sampleSize <= 0 selects DefaultSampleSize.
-func NewSamplingEstimator(st *store.Store, c *Compiled, sampleSize int) *SamplingEstimator {
+func NewSamplingEstimator(st store.Source, c *Compiled, sampleSize int) *SamplingEstimator {
 	if sampleSize <= 0 {
 		sampleSize = DefaultSampleSize
 	}

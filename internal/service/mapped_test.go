@@ -112,10 +112,11 @@ func TestReloadRemapDefersUnmap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldMapping := svc.Store().Mapping()
-	if oldMapping == nil {
+	oldMappings := svc.Store().Mappings()
+	if len(oldMappings) == 0 {
 		t.Fatal("mapped load has no mapping")
 	}
+	oldMapping := oldMappings[0]
 
 	// A query outcome from generation 1, deliberately left open across the
 	// reload: its rows decode lazily out of the old mapping.
@@ -134,7 +135,7 @@ func TestReloadRemapDefersUnmap(t *testing.T) {
 	if got := svc.Store().Backend(); got != "mapped" {
 		t.Fatalf("post-reload backend = %q", got)
 	}
-	if svc.Store().Mapping() == oldMapping {
+	if ms := svc.Store().Mappings(); len(ms) != 1 || ms[0] == oldMapping {
 		t.Fatal("reload did not swap the mapping")
 	}
 

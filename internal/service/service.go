@@ -97,6 +97,14 @@ type Options struct {
 	// (store.OpenMapped) with O(1) open cost. cmd/served exposes this as
 	// -heap-load.
 	HeapLoad bool
+	// Shards runs the service in coordinator mode over a subject-hash
+	// sharded store: single-store inputs (New, or Load/Reload of a plain
+	// snapshot) are partitioned into this many shards, and every query
+	// scatter-gathers across them through the store.Source seam with
+	// bit-identical results and accounting. <= 1 serves a single store.
+	// Loading a sharded snapshot directory always serves it sharded, at
+	// the directory's own shard count. cmd/served exposes this as -shards.
+	Shards int
 	// AllowReload enables the HTTP POST /reload endpoint, which loads any
 	// server-readable path a client names. Off by default — enable only
 	// when the listener is trusted (cmd/served -allow-reload). The
@@ -183,25 +191,27 @@ func (o Options) normalized() Options {
 // The pin count is what makes /reload over mmap-backed stores safe: it
 // starts at 1 (the published reference, dropped when a swap retires the
 // generation) and counts one per in-flight query. A mapped generation
-// holds its own reference on the store's Mapping, released only when the
-// last pin drops — so the munmap syscall is deferred until every query
-// whose result rows and dictionary still point into the old mapping has
-// drained.
+// holds its own reference on every mapping backing the store — one for a
+// plain mapped store, one per mapped shard for a sharded store — released
+// only when the last pin drops. The munmap syscalls are thus deferred
+// until every query whose result rows and dictionary still point into the
+// old mappings has drained; for a sharded snapshot all shard generations
+// stay pinned together until that drain.
 type snapState struct {
-	store  *store.Store
+	store  store.Source
 	gen    uint64
 	source string
 	cache  *planCache
 
-	svc     *Service
-	mapping *store.Mapping // generation's retained mapping ref, nil for heap
-	pins    atomic.Int64   // published ref + in-flight queries
-	retired atomic.Bool    // set when a swap replaced this generation
+	svc      *Service
+	mappings []*store.Mapping // generation's retained mapping refs, empty for heap
+	pins     atomic.Int64     // published ref + in-flight queries
+	retired  atomic.Bool      // set when a swap replaced this generation
 }
 
 // newState builds a snapshot generation with the published pin, retaining
-// its own reference on the store's mapping (if any).
-func (s *Service) newState(st *store.Store, gen uint64, source string) *snapState {
+// its own reference on every mapping backing the store (if any).
+func (s *Service) newState(st store.Source, gen uint64, source string) *snapState {
 	ss := &snapState{
 		store:  st,
 		gen:    gen,
@@ -210,8 +220,10 @@ func (s *Service) newState(st *store.Store, gen uint64, source string) *snapStat
 		svc:    s,
 	}
 	ss.pins.Store(1)
-	if m := st.Mapping(); m != nil && m.Retain() {
-		ss.mapping = m
+	for _, m := range st.Mappings() {
+		if m.Retain() {
+			ss.mappings = append(ss.mappings, m)
+		}
 	}
 	return ss
 }
@@ -233,17 +245,17 @@ func (ss *snapState) tryPin() bool {
 func (ss *snapState) pin() { ss.pins.Add(1) }
 
 // unpin drops one pin; the last drop releases the generation's mapping
-// reference (unmapping the file once no other generation shares it) and
-// clears it from the awaiting-unmap gauge.
+// references (unmapping each file once no other generation shares it) and
+// clears the generation from the awaiting-unmap gauge.
 func (ss *snapState) unpin() {
 	if ss.pins.Add(-1) != 0 {
 		return
 	}
-	if ss.mapping != nil {
-		ss.mapping.Release()
-		if ss.retired.Load() {
-			ss.svc.retiredMapped.Add(-1)
-		}
+	for _, m := range ss.mappings {
+		m.Release()
+	}
+	if len(ss.mappings) > 0 && ss.retired.Load() {
+		ss.svc.retiredMapped.Add(-1)
 	}
 }
 
@@ -375,9 +387,14 @@ type Service struct {
 }
 
 // New returns a Service over st. The source string is reported by Stats
-// and /healthz ("" for an in-memory store).
-func New(st *store.Store, source string, opts Options) *Service {
+// and /healthz ("" for an in-memory store). With Options.Shards > 1 a
+// plain store is partitioned into a sharded federation first (an already
+// sharded st is served as-is).
+func New(st store.Source, source string, opts Options) *Service {
 	opts = opts.normalized()
+	if single, ok := st.(*store.Store); ok && opts.Shards > 1 {
+		st = store.NewSharded(single, opts.Shards)
+	}
 	s := &Service{
 		opts:      opts,
 		variant:   engineVariant(opts.Exec),
@@ -400,23 +417,39 @@ func New(st *store.Store, source string, opts Options) *Service {
 // owns the store's lifecycle (its generations hold the mapping open and
 // the last drained one unmaps it).
 func Load(path string, opts Options) (*Service, error) {
-	st, err := loadStore(path, opts.HeapLoad)
+	st, err := loadStore(path, opts.HeapLoad, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
 	s := New(st, path, opts)
-	// New retained the service's own mapping reference; drop the creation
-	// reference so the mapping's lifetime is governed entirely by snapshot
-	// generations.
-	if m := st.Mapping(); m != nil {
+	// New retained the service's own mapping references; drop the creation
+	// references so each mapping's lifetime is governed entirely by
+	// snapshot generations.
+	for _, m := range st.Mappings() {
 		m.Release()
 	}
 	return s, nil
 }
 
-// loadStore resolves the configured loading path: mapped open for v4
-// files by default, full heap deserialization when forced.
-func loadStore(path string, heapLoad bool) (*store.Store, error) {
+// loadStore resolves the configured loading path: sharded snapshot
+// directories open as sharded federations at their own shard count, v4
+// files map in by default (full heap deserialization when forced), and a
+// single-store load under shards > 1 is partitioned after loading. The
+// partitioning path always deserializes onto the heap — the federation
+// shares the loaded store's dictionary, which for a mapped store would
+// point into the mapping — so mapped sharded serving goes through a
+// sharded snapshot directory (cmd/datagen -shards).
+func loadStore(path string, heapLoad bool, shards int) (store.Source, error) {
+	if store.IsShardedSnapshot(path) {
+		return store.LoadSharded(path, heapLoad)
+	}
+	if shards > 1 {
+		st, err := store.LoadAny(path)
+		if err != nil {
+			return nil, err
+		}
+		return store.NewSharded(st, shards), nil
+	}
 	if heapLoad {
 		return store.LoadAny(path)
 	}
@@ -424,7 +457,7 @@ func loadStore(path string, heapLoad bool) (*store.Store, error) {
 }
 
 // Store returns the current snapshot's store.
-func (s *Service) Store() *store.Store { return s.state.Load().store }
+func (s *Service) Store() store.Source { return s.state.Load().store }
 
 // Generation returns the current snapshot generation (starts at 1,
 // incremented by every swap).
@@ -434,22 +467,22 @@ func (s *Service) Generation() uint64 { return s.state.Load().gen }
 // queries finish against the snapshot they started with; the plan cache is
 // replaced (its entries embed the old dictionary's IDs) while the
 // cumulative cache counters survive. Returns the new generation.
-func (s *Service) Swap(st *store.Store, source string) uint64 {
+func (s *Service) Swap(st store.Source, source string) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	return s.swapLocked(st, source)
 }
 
 // swapLocked publishes st as the next generation and retires the old one:
-// its published pin is dropped, and if it was mmap-backed its mapping
-// stays open (gauged as awaiting unmap) until the last in-flight query
+// its published pin is dropped, and if it was mmap-backed its mappings
+// stay open (gauged as awaiting unmap) until the last in-flight query
 // over it drains. The caller holds swapMu.
-func (s *Service) swapLocked(st *store.Store, source string) uint64 {
+func (s *Service) swapLocked(st store.Source, source string) uint64 {
 	old := s.state.Load()
 	gen := old.gen + 1
 	s.state.Store(s.newState(st, gen, source))
 	old.retired.Store(true)
-	if old.mapping != nil {
+	if len(old.mappings) > 0 {
 		s.retiredMapped.Add(1)
 	}
 	old.unpin()
@@ -463,14 +496,14 @@ func (s *Service) swapLocked(st *store.Store, source string) uint64 {
 // served from the old snapshot until the swap point, and queries in
 // flight over a retired mapped snapshot keep it mapped until they drain.
 func (s *Service) Reload(path string) (gen uint64, triples int, err error) {
-	st, err := loadStore(path, s.opts.HeapLoad)
+	st, err := loadStore(path, s.opts.HeapLoad, s.opts.Shards)
 	if err != nil {
 		return 0, 0, err
 	}
 	gen = s.Swap(st, path)
 	triples = st.Len()
-	if m := st.Mapping(); m != nil {
-		m.Release() // the new generation holds its own reference
+	for _, m := range st.Mappings() {
+		m.Release() // the new generation holds its own references
 	}
 	return gen, triples, nil
 }
@@ -519,13 +552,33 @@ func (s *Service) Update(ctx context.Context, text string) (res *UpdateResult, e
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	cur := s.state.Load()
-	d0 := cur.store.NewDelta()
-	d, err := exec.ApplyUpdateDelta(d0, u)
-	if err != nil {
-		return nil, badInput(err)
+	var (
+		next      store.Source
+		unchanged bool
+		compacted bool
+	)
+	switch cs := cur.store.(type) {
+	case *store.Sharded:
+		sd0 := cs.NewDelta()
+		sd, aerr := exec.ApplyUpdateSharded(sd0, u)
+		if aerr != nil {
+			return nil, badInput(aerr)
+		}
+		if unchanged = sd == sd0; !unchanged {
+			next, compacted = s.publishShardedDelta(sd)
+		}
+	case *store.Store:
+		d0 := cs.NewDelta()
+		d, aerr := exec.ApplyUpdateDelta(d0, u)
+		if aerr != nil {
+			return nil, badInput(aerr)
+		}
+		if unchanged = d == d0; !unchanged {
+			next, compacted = s.publishDelta(d)
+		}
 	}
 	s.updates.Add(1)
-	if d == d0 {
+	if unchanged {
 		// The update changed nothing (set semantics): keep the current
 		// snapshot — and with it the plan cache — instead of publishing an
 		// identical generation.
@@ -535,13 +588,9 @@ func (s *Service) Update(ctx context.Context, text string) (res *UpdateResult, e
 			Inserted:   u.InsertCount(),
 			Deleted:    u.DeleteCount(),
 		}
-		if nd := cur.store.Delta(); nd != nil {
-			res.PendingInserts = nd.InsertCount()
-			res.PendingDeletes = nd.DeleteCount()
-		}
+		res.PendingInserts, res.PendingDeletes = pendingOf(cur.store)
 		return res, nil
 	}
-	next, compacted := s.publishDelta(d)
 	gen := s.swapLocked(next, updateSource(cur.source))
 	if compacted {
 		s.compactions.Add(1)
@@ -553,31 +602,58 @@ func (s *Service) Update(ctx context.Context, text string) (res *UpdateResult, e
 		Deleted:    u.DeleteCount(),
 		Compacted:  compacted,
 	}
-	if nd := next.Delta(); nd != nil {
-		res.PendingInserts = nd.InsertCount()
-		res.PendingDeletes = nd.DeleteCount()
-	}
+	res.PendingInserts, res.PendingDeletes = pendingOf(next)
 	return res, nil
+}
+
+// pendingOf returns a snapshot's overlay delta sizes (summed across
+// shards for a sharded store; zero for fully indexed snapshots).
+func pendingOf(st store.Source) (inserts, deletes int) {
+	switch cs := st.(type) {
+	case *store.Sharded:
+		return cs.Pending()
+	case *store.Store:
+		if d := cs.Delta(); d != nil {
+			return d.InsertCount(), d.DeleteCount()
+		}
+	}
+	return 0, 0
 }
 
 // publishDelta decides the snapshot form for a pending delta: an overlay
 // below the compaction threshold, a folded store at or above it.
 func (s *Service) publishDelta(d *store.Delta) (*store.Store, bool) {
-	if t := s.compactThreshold(d.Base()); t > 0 && d.Size() >= t {
+	if t := s.compactThresholdFor(d.Base().Len()); t > 0 && d.Size() >= t {
 		return d.Commit(store.BuildOptions{}), true
 	}
 	return d.Overlay(), false
 }
 
-// compactThreshold resolves the auto-compaction threshold against a base
-// store (0 configures the adaptive default, negative disables).
-func (s *Service) compactThreshold(base *store.Store) int {
+// publishShardedDelta publishes a sharded delta with per-shard
+// auto-compaction: each shard's threshold resolves against that shard's
+// own base size, so one hot shard folds without forcing a rebuild of the
+// cold ones.
+func (s *Service) publishShardedDelta(sd *store.ShardedDelta) (*store.Sharded, bool) {
+	compacted := false
+	next := sd.Publish(func(_ int, d *store.Delta) bool {
+		if t := s.compactThresholdFor(d.Base().Len()); t > 0 && d.Size() >= t {
+			compacted = true
+			return true
+		}
+		return false
+	}, store.BuildOptions{})
+	return next, compacted
+}
+
+// compactThresholdFor resolves the auto-compaction threshold against a
+// base store size (0 configures the adaptive default, negative disables).
+func (s *Service) compactThresholdFor(baseLen int) int {
 	t := s.opts.CompactThreshold
 	switch {
 	case t < 0:
 		return 0
 	case t == 0:
-		t = base.Len() / 8
+		t = baseLen / 8
 		if t < 1024 {
 			t = 1024
 		}
@@ -586,27 +662,54 @@ func (s *Service) compactThreshold(base *store.Store) int {
 }
 
 // Compact folds the current snapshot's pending delta (if any) into a
-// fresh fully indexed store and publishes it. It returns the resulting
-// generation (unchanged when there was nothing to fold).
+// fresh fully indexed store — every shard's, for a sharded snapshot —
+// and publishes it. It returns the resulting generation (unchanged when
+// there was nothing to fold).
 func (s *Service) Compact() uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	cur := s.state.Load()
-	d := cur.store.Delta()
-	if d == nil || d.Empty() {
-		return cur.gen
+	switch cs := cur.store.(type) {
+	case *store.Sharded:
+		sd := cs.NewDelta()
+		if sd.Empty() {
+			return cur.gen
+		}
+		s.compactions.Add(1)
+		return s.swapLocked(sd.Commit(store.BuildOptions{}), updateSource(cur.source))
+	case *store.Store:
+		d := cs.Delta()
+		if d == nil || d.Empty() {
+			return cur.gen
+		}
+		s.compactions.Add(1)
+		return s.swapLocked(d.Commit(store.BuildOptions{}), updateSource(cur.source))
 	}
-	s.compactions.Add(1)
-	return s.swapLocked(d.Commit(store.BuildOptions{}), updateSource(cur.source))
+	return cur.gen
 }
 
-// baseOf returns the fully indexed base of st (st itself for a plain
-// store).
-func baseOf(st *store.Store) *store.Store {
-	if d := st.Delta(); d != nil {
-		return d.Base()
+// baseLenOf returns the fully indexed base size of st: the delta's base
+// for an overlay, summed across shards for a sharded store.
+func baseLenOf(st store.Source) int {
+	switch cs := st.(type) {
+	case *store.Sharded:
+		return cs.BaseLen()
+	case *store.Store:
+		if d := cs.Delta(); d != nil {
+			return d.Base().Len()
+		}
 	}
-	return st
+	return st.Len()
+}
+
+// mappedBytesOf sums the sizes of the distinct mappings backing st (0 for
+// heap stores).
+func mappedBytesOf(st store.Source) int {
+	n := 0
+	for _, m := range st.Mappings() {
+		n += m.Size()
+	}
+	return n
 }
 
 // updateSource labels a snapshot produced by updates after its origin.
@@ -667,7 +770,7 @@ type Outcome struct {
 	// Store is the snapshot the query executed against — decode row IDs
 	// with its dictionary, not the service's current one (a swap may have
 	// happened since).
-	Store *store.Store
+	Store store.Source
 	// Analyze is the rendered EXPLAIN ANALYZE listing and Trace the
 	// finalized span tree, both set only when the execution was requested
 	// with RunOptions.Analyze.
@@ -1165,8 +1268,23 @@ type StoreStats struct {
 	MappedBytes int `json:"mapped_bytes"`
 	// MappingsAwaitingUnmap counts retired mmap-backed generations still
 	// held open by in-flight queries (each unmaps when its last query
-	// drains).
+	// drains). A sharded generation counts once — all its shard mappings
+	// retire and release together.
 	MappingsAwaitingUnmap int64 `json:"mappings_awaiting_unmap"`
+	// Shards is the shard count in coordinator mode (0 for a single
+	// store), and PerShard the per-shard breakdown.
+	Shards   int               `json:"shards,omitempty"`
+	PerShard []ShardStoreStats `json:"per_shard,omitempty"`
+}
+
+// ShardStoreStats describe one shard of a sharded snapshot.
+type ShardStoreStats struct {
+	Triples        int    `json:"triples"`
+	BaseTriples    int    `json:"base_triples"`
+	PendingInserts int    `json:"pending_inserts"`
+	PendingDeletes int    `json:"pending_deletes"`
+	Backend        string `json:"backend"`
+	MappedBytes    int    `json:"mapped_bytes"`
 }
 
 // UpdateStats describe the update path since startup.
@@ -1231,22 +1349,37 @@ func (s *Service) Stats() Stats {
 		Triples:               st.store.Len(),
 		Generation:            st.gen,
 		Source:                st.source,
-		BaseTriples:           st.store.Len(),
+		BaseTriples:           baseLenOf(st.store),
 		Backend:               st.store.Backend(),
-		MappedBytes:           st.store.MappedBytes(),
+		MappedBytes:           mappedBytesOf(st.store),
 		MappingsAwaitingUnmap: s.retiredMapped.Load(),
 	}
-	if d := st.store.Delta(); d != nil {
-		storeStats.BaseTriples = d.Base().Len()
-		storeStats.PendingInserts = d.InsertCount()
-		storeStats.PendingDeletes = d.DeleteCount()
+	storeStats.PendingInserts, storeStats.PendingDeletes = pendingOf(st.store)
+	if sh, ok := st.store.(*store.Sharded); ok {
+		storeStats.Shards = sh.NumShards()
+		storeStats.PerShard = make([]ShardStoreStats, sh.NumShards())
+		for i := range storeStats.PerShard {
+			shard := sh.Shard(i)
+			ss := ShardStoreStats{
+				Triples:     shard.Len(),
+				BaseTriples: shard.Len(),
+				Backend:     shard.Backend(),
+				MappedBytes: shard.MappedBytes(),
+			}
+			if d := shard.Delta(); d != nil {
+				ss.BaseTriples = d.Base().Len()
+				ss.PendingInserts = d.InsertCount()
+				ss.PendingDeletes = d.DeleteCount()
+			}
+			storeStats.PerShard[i] = ss
+		}
 	}
 	out := Stats{
 		Store: storeStats,
 		Updates: UpdateStats{
 			Updates:          s.updates.Load(),
 			Compactions:      s.compactions.Load(),
-			CompactThreshold: s.compactThreshold(baseOf(st.store)),
+			CompactThreshold: s.compactThresholdFor(baseLenOf(st.store)),
 		},
 		Cache: CacheStats{
 			Size:      st.cache.size(),

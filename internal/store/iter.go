@@ -38,6 +38,12 @@ type Scan struct {
 	rest0, del0, ins0 []IDTriple
 	nb                int        // bound-prefix length of the sort key
 	prefix            [3]dict.ID // bound-prefix values, index-key order
+
+	// sub, when non-nil, makes the cursor a k-way merge over per-shard
+	// child cursors (same order, disjoint triple sets — see merged.go).
+	// The run fields above are unused in that mode; every method
+	// delegates to the children.
+	sub []*Scan
 }
 
 // initRuns records the cursor's full runs and bound-key prefix.
@@ -119,6 +125,12 @@ func (s *Store) ScanSeek(pat Pattern, varPos []int) *Scan {
 // the every-deletion-masks-one-undelivered-triple invariant is preserved
 // and Remaining stays exact.
 func (sc *Scan) SeekVar(v0, v1, v2 dict.ID) {
+	if sc.sub != nil {
+		for _, c := range sc.sub {
+			c.SeekVar(v0, v1, v2)
+		}
+		return
+	}
 	k := sc.prefix
 	vs := [3]dict.ID{v0, v1, v2}
 	for i := sc.nb; i < 3; i++ {
@@ -163,6 +175,10 @@ func keyLess(t IDTriple, o order, k [3]dict.ID) bool {
 // discarded eagerly (they deliver nothing, so this never reorders the
 // stream).
 func (sc *Scan) Head() (IDTriple, bool) {
+	if sc.sub != nil {
+		_, t, ok := sc.headChild()
+		return t, ok
+	}
 	for len(sc.rest) > 0 && len(sc.del) > 0 && sc.rest[0] == sc.del[0] {
 		sc.rest = sc.rest[1:]
 		sc.del = sc.del[1:]
@@ -200,6 +216,9 @@ func (sc *Scan) HeadVar() ([3]dict.ID, bool) {
 // of the index; a merging cursor returns its internal buffer, valid until
 // the next call.
 func (sc *Scan) Next(max int) []IDTriple {
+	if sc.sub != nil {
+		return sc.nextMerged(max)
+	}
 	if len(sc.del) == 0 && len(sc.ins) == 0 {
 		if len(sc.rest) == 0 {
 			return nil
@@ -251,7 +270,16 @@ func (sc *Scan) Next(max int) []IDTriple {
 // Remaining returns how many triples the cursor has not yet delivered.
 // Every pending deletion masks exactly one undelivered base triple (a
 // cursor invariant), so the count is exact.
-func (sc *Scan) Remaining() int { return len(sc.rest) - len(sc.del) + len(sc.ins) }
+func (sc *Scan) Remaining() int {
+	if sc.sub != nil {
+		n := 0
+		for _, c := range sc.sub {
+			n += c.Remaining()
+		}
+		return n
+	}
+	return len(sc.rest) - len(sc.del) + len(sc.ins)
+}
 
 // ScanPartitions opens up to n cursors that jointly cover the triples
 // matching pat: the merged stream Scan would deliver is split into n

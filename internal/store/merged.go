@@ -1,0 +1,100 @@
+package store
+
+// This file implements the k-way-merging side of the Scan cursor: the
+// shard-federation counterpart of the overlay merge in iter.go. A merged
+// cursor holds child cursors over the same pattern and index order whose
+// triple sets are disjoint (shards partition by subject, and no triple is
+// duplicated), so the merge is unambiguous: repeatedly emitting the
+// smallest head under the index order reproduces exactly the stream a
+// single store over the union would deliver. That stream identity — not
+// any scheduling property — is what makes sharded execution bit-identical
+// to unsharded execution.
+
+// mergeScans builds a cursor over the union of children's streams. All
+// children must share the cursor's index order and match the same
+// pattern. Children that are already exhausted are dropped; a single
+// surviving child is returned directly (zero merge overhead — this is
+// the Shards=1 fast path and the common case for subject-bound patterns,
+// which match in exactly one shard).
+func mergeScans(children []*Scan, o order, pat Pattern) *Scan {
+	live := children[:0]
+	for _, c := range children {
+		if c.Remaining() > 0 {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		sc := &Scan{ord: o}
+		sc.initRuns(pat)
+		return sc
+	case 1:
+		return live[0]
+	}
+	sc := &Scan{ord: o, sub: live}
+	sc.prefix, sc.nb = prefixBounds(o, pat)
+	return sc
+}
+
+// headChild returns the child holding the smallest undelivered triple,
+// with that triple. Children never hold equal triples (disjoint sets), so
+// the minimum is unique and no tie-break is needed.
+func (sc *Scan) headChild() (*Scan, IDTriple, bool) {
+	var (
+		best  *Scan
+		bt    IDTriple
+		found bool
+	)
+	for _, c := range sc.sub {
+		t, ok := c.Head()
+		if !ok {
+			continue
+		}
+		if !found || lessByOrder(t, bt, sc.ord) {
+			best, bt, found = c, t, true
+		}
+	}
+	return best, bt, found
+}
+
+// advance consumes the cursor's head triple. Call only after Head
+// returned true (which has already discarded any deleted prefix); the
+// selection mirrors Head's so the consumed triple is the one Head
+// reported.
+func (sc *Scan) advance() {
+	switch {
+	case len(sc.rest) == 0:
+		sc.ins = sc.ins[1:]
+	case len(sc.ins) == 0 || !lessByOrder(sc.ins[0], sc.rest[0], sc.ord):
+		sc.rest = sc.rest[1:]
+	default:
+		sc.ins = sc.ins[1:]
+	}
+}
+
+// nextMerged is Next for a merging cursor: up to max triples assembled
+// into the reused batch buffer by repeated minimum selection over the
+// children.
+func (sc *Scan) nextMerged(max int) []IDTriple {
+	n := sc.Remaining()
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	if cap(sc.buf) < n {
+		sc.buf = make([]IDTriple, 0, n)
+	}
+	buf := sc.buf[:0]
+	for len(buf) < n {
+		c, t, ok := sc.headChild()
+		if !ok {
+			break
+		}
+		buf = append(buf, t)
+		c.advance()
+	}
+	sc.buf = buf
+	return buf
+}

@@ -2,7 +2,10 @@
 
 package store
 
-import "os"
+import (
+	"io"
+	"os"
+)
 
 // mmapFile on platforms without the unix mmap syscall falls back to
 // reading the file into memory. OpenMapped still works — same format,
@@ -10,6 +13,19 @@ import "os"
 // one-time sequential read instead of demand paging.
 func mmapFile(path string) ([]byte, func([]byte) error, error) {
 	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}
+
+// mmapFd is the fallback's already-open-file variant: it rewinds f and
+// reads it fully.
+func mmapFd(f *os.File) ([]byte, func([]byte) error, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -17,6 +17,12 @@ func mmapFile(path string) ([]byte, func([]byte) error, error) {
 		return nil, nil, err
 	}
 	defer f.Close()
+	return mmapFd(f)
+}
+
+// mmapFd maps an already-open file read-only, so a caller that has sniffed
+// the format from f can map the very fd it sniffed (no reopen race).
+func mmapFd(f *os.File) ([]byte, func([]byte) error, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, nil, err
@@ -28,11 +34,11 @@ func mmapFile(path string) ([]byte, func([]byte) error, error) {
 		return nil, func([]byte) error { return nil }, nil
 	}
 	if size > math.MaxInt {
-		return nil, nil, fmt.Errorf("store: %s: %d bytes exceeds the addressable size", path, size)
+		return nil, nil, fmt.Errorf("store: %s: %d bytes exceeds the addressable size", f.Name(), size)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", f.Name(), err)
 	}
 	return data, syscall.Munmap, nil
 }

@@ -1,0 +1,658 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// Sharded is a hash-partitioned federation of per-shard *Stores behind
+// the same Source seam a single store serves: triples are routed to
+// shards by a hash of their subject ID, every shard is an ordinary
+// immutable hexastore (heap or mmap-backed, plain or overlay, with its
+// own Delta and MVCC generation), and all shards share one dictionary so
+// IDs join and decode identically across shards.
+//
+// The read paths federate at the index-run level: each shard's matching
+// run is a sorted sequence over a disjoint triple subset, so k-way
+// merging the runs back together (mergeScans) reproduces exactly the
+// stream a single store over the union would deliver. Subject-bound
+// patterns hit exactly one shard and keep the single-store fast path.
+// Because the streams are identical and the coordinator keeps exact
+// global statistics (Count sums over disjoint shards; DistinctS and the
+// rdf:type class index partition cleanly by subject; DistinctO is
+// maintained globally, since distinct objects do not sum across shards),
+// the optimizer picks identical plans and the executor produces
+// bit-identical rows and Cout/Work/Scanned accounting at any shard
+// count — the same invariance the morsel driver guarantees across worker
+// counts, lifted to the shard level.
+//
+// A Sharded is immutable, like Store: updates go through NewDelta /
+// ShardedDelta and publish a fresh Sharded.
+type Sharded struct {
+	shards []*Store
+	dict   *dict.Dict
+	n      int                   // total triples (sum of shard sizes)
+	pstats map[dict.ID]PredStats // exact global per-predicate statistics
+}
+
+// shardOf routes a subject ID to its home shard (Fibonacci hashing on the
+// ID). The routing is deterministic for a given dictionary, which is all
+// correctness needs — results are invariant to placement.
+func shardOf(s dict.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(s) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(n))
+}
+
+// NewSharded partitions st's triples (delta merged in, for an overlay)
+// across n shards by subject hash. The shards share st's dictionary and
+// each is built through the standard parallel index construction; the
+// global statistics are st's own exact values, so a Sharded and the store
+// it came from are indistinguishable to the planner.
+func NewSharded(st *Store, n int) *Sharded {
+	return NewShardedOpts(st, n, BuildOptions{})
+}
+
+// NewShardedOpts is NewSharded with explicit per-shard build options.
+func NewShardedOpts(st *Store, n int, opts BuildOptions) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	all, _ := st.Match(Pattern{})
+	counts := make([]int, n)
+	for _, t := range all {
+		counts[shardOf(t.S, n)]++
+	}
+	buckets := make([][]IDTriple, n)
+	for i := range buckets {
+		buckets[i] = make([]IDTriple, 0, counts[i])
+	}
+	for _, t := range all {
+		b := shardOf(t.S, n)
+		buckets[b] = append(buckets[b], t)
+	}
+	shards := make([]*Store, n)
+	for i := range shards {
+		shards[i] = buildIndexes(st.dict, buckets[i], opts)
+	}
+	return &Sharded{
+		shards: shards,
+		dict:   st.dict,
+		n:      st.Len(),
+		pstats: st.pstats,
+	}
+}
+
+// NumShards returns the shard count.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Shard returns shard i (for per-shard stats and tests); treat it as
+// read-only.
+func (sh *Sharded) Shard(i int) *Store { return sh.shards[i] }
+
+// Dict returns the dictionary shared by every shard.
+func (sh *Sharded) Dict() *dict.Dict { return sh.dict }
+
+// Len returns the total number of triples across all shards.
+func (sh *Sharded) Len() int { return sh.n }
+
+// Backend names the composite backing: "sharded(N, heap)", "sharded(N,
+// mapped)", or "sharded(N, mixed)" when per-shard compaction has left
+// shards on different backings.
+func (sh *Sharded) Backend() string {
+	b := sh.shards[0].Backend()
+	for _, s := range sh.shards[1:] {
+		if s.Backend() != b {
+			b = "mixed"
+			break
+		}
+	}
+	return fmt.Sprintf("sharded(%d, %s)", len(sh.shards), b)
+}
+
+// Mappings returns the distinct snapshot mappings backing the shards
+// (empty for pure heap shards). A service generation retains every one of
+// them, so /reload pins all shards' mappings until the last in-flight
+// query drains.
+func (sh *Sharded) Mappings() []*Mapping {
+	var out []*Mapping
+	for _, s := range sh.shards {
+		m := s.Mapping()
+		if m == nil {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == m {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MappedBytes returns the total size of the distinct mappings backing the
+// shards (0 for heap).
+func (sh *Sharded) MappedBytes() int {
+	n := 0
+	for _, m := range sh.Mappings() {
+		n += m.Size()
+	}
+	return n
+}
+
+// Pending returns the total overlay delta sizes across shards (zero when
+// every shard is fully indexed).
+func (sh *Sharded) Pending() (inserts, deletes int) {
+	for _, s := range sh.shards {
+		if d := s.Delta(); d != nil {
+			inserts += d.InsertCount()
+			deletes += d.DeleteCount()
+		}
+	}
+	return inserts, deletes
+}
+
+// BaseLen returns the total size of the shards' fully indexed bases.
+func (sh *Sharded) BaseLen() int {
+	n := 0
+	for _, s := range sh.shards {
+		if d := s.Delta(); d != nil {
+			n += d.Base().Len()
+		} else {
+			n += s.Len()
+		}
+	}
+	return n
+}
+
+// Count returns the exact number of triples matching pat: shards hold
+// disjoint triple sets, so per-shard exact counts sum exactly.
+func (sh *Sharded) Count(pat Pattern) int {
+	n := 0
+	for _, s := range sh.shards {
+		n += s.Count(pat)
+	}
+	return n
+}
+
+// Match returns the triples matching pat in index sort order, k-way
+// merged across shards. When exactly one shard holds matches (always the
+// case for subject-bound patterns) the result is that shard's zero-copy
+// subslice.
+func (sh *Sharded) Match(pat Pattern) ([]IDTriple, order) {
+	m, _, o := sh.matchInto(pat, nil)
+	return m, o
+}
+
+// MatchBuf is Match with caller-provided scratch, mirroring
+// Store.MatchBuf: the merged run is assembled in scratch's backing array
+// unless a single shard's zero-copy subslice suffices.
+func (sh *Sharded) MatchBuf(pat Pattern, scratch []IDTriple) (matches, scratch2 []IDTriple) {
+	m, scr, _ := sh.matchInto(pat, scratch)
+	return m, scr
+}
+
+func (sh *Sharded) matchInto(pat Pattern, scratch []IDTriple) ([]IDTriple, []IDTriple, order) {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].matchInto(pat, scratch)
+	}
+	o := orderFor(pat.boundMask())
+	// Open per-shard cursors and drop empty ones; with one contributor the
+	// shard's own match path (zero-copy where possible) answers directly.
+	var (
+		scans []*Scan
+		only  = -1
+		need  = 0
+	)
+	for i, s := range sh.shards {
+		sc := s.Scan(pat)
+		r := sc.Remaining()
+		if r == 0 {
+			continue
+		}
+		need += r
+		scans = append(scans, sc)
+		only = i
+	}
+	switch len(scans) {
+	case 0:
+		return nil, scratch, o
+	case 1:
+		return sh.shards[only].matchInto(pat, scratch)
+	}
+	out := scratch[:0]
+	if cap(out) < need {
+		out = make([]IDTriple, 0, need)
+	}
+	merged := &Scan{ord: o, sub: scans}
+	for {
+		c, t, ok := merged.headChild()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+		c.advance()
+	}
+	return out, out[:0], o
+}
+
+// Scan opens a merged batch cursor over the triples matching pat.
+func (sh *Sharded) Scan(pat Pattern) *Scan {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].Scan(pat)
+	}
+	children := make([]*Scan, len(sh.shards))
+	for i, s := range sh.shards {
+		children[i] = s.Scan(pat)
+	}
+	return mergeScans(children, orderFor(pat.boundMask()), pat)
+}
+
+// ScanSeek opens a merged seekable trie cursor (see Store.ScanSeek):
+// seeks fan out to every shard cursor and the head is the minimum across
+// them, preserving the leapfrog trie-iterator contract.
+func (sh *Sharded) ScanSeek(pat Pattern, varPos []int) *Scan {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].ScanSeek(pat, varPos)
+	}
+	children := make([]*Scan, len(sh.shards))
+	for i, s := range sh.shards {
+		children[i] = s.ScanSeek(pat, varPos)
+	}
+	return mergeScans(children, children[0].ord, pat)
+}
+
+// ScanPartitions splits the merged stream into up to n contiguous morsels
+// with the same concatenation contract as Store.ScanPartitions — this is
+// the scatter half of scatter-gather: every partition is a merged cursor
+// spanning the shards' sub-runs between two global boundary triples, so
+// the existing morsel driver executes across shards and its in-order
+// merge (the gather half) reproduces the serial stream bit-for-bit.
+// Boundaries are drawn from the largest single run, so sizes stay
+// balanced up to hash skew; partitions may be empty, which preserves the
+// concatenation order.
+func (sh *Sharded) ScanPartitions(pat Pattern, n int) []*Scan {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].ScanPartitions(pat, n)
+	}
+	scans := make([]*Scan, len(sh.shards))
+	total := 0
+	for i, s := range sh.shards {
+		scans[i] = s.Scan(pat)
+		total += scans[i].Remaining()
+	}
+	if total == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	o := scans[0].ord
+	if n == 1 {
+		return []*Scan{mergeScans(scans, o, pat)}
+	}
+	// Boundary triples come from the largest run among all shards' base
+	// and insert runs; every run of every shard is cut at each boundary by
+	// a lower-bound search. A deleted triple and its base twin compare
+	// equal, so they land in the same partition, keeping Remaining exact.
+	var primary []IDTriple
+	for _, sc := range scans {
+		if len(sc.rest0) > len(primary) {
+			primary = sc.rest0
+		}
+		if len(sc.ins0) > len(primary) {
+			primary = sc.ins0
+		}
+	}
+	lowerBound := func(run []IDTriple, t IDTriple) int {
+		return sort.Search(len(run), func(i int) bool { return !lessByOrder(run[i], t, o) })
+	}
+	type cuts struct{ rest, del, ins int }
+	prev := make([]cuts, len(scans))
+	out := make([]*Scan, 0, n)
+	for i := 0; i < n; i++ {
+		var boundary IDTriple
+		hasBoundary := false
+		if i < n-1 {
+			if p := (i + 1) * len(primary) / n; p < len(primary) {
+				boundary = primary[p]
+				hasBoundary = true
+			}
+		}
+		children := make([]*Scan, 0, len(scans))
+		for j, sc := range scans {
+			rn, dn, in := len(sc.rest0), len(sc.del0), len(sc.ins0)
+			if hasBoundary {
+				rn = lowerBound(sc.rest0, boundary)
+				dn = lowerBound(sc.del0, boundary)
+				in = lowerBound(sc.ins0, boundary)
+			}
+			c := &Scan{
+				ord:  o,
+				rest: sc.rest0[prev[j].rest:rn:rn],
+				del:  sc.del0[prev[j].del:dn:dn],
+				ins:  sc.ins0[prev[j].ins:in:in],
+			}
+			c.initRuns(pat)
+			prev[j] = cuts{rn, dn, in}
+			children = append(children, c)
+		}
+		out = append(out, mergeScans(children, o, pat))
+	}
+	return out
+}
+
+// PredicateStats returns the exact global statistics for predicate p.
+func (sh *Sharded) PredicateStats(p dict.ID) PredStats { return sh.pstats[p] }
+
+// Predicates returns the IDs of all predicates present, ascending.
+func (sh *Sharded) Predicates() []dict.ID {
+	out := make([]dict.ID, 0, len(sh.pstats))
+	for p := range sh.pstats {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubjectsOfClass returns the sorted subject IDs having rdf:type c,
+// merged across shards. Subjects partition cleanly by shard (they are
+// what the hash routes on), so the per-shard sorted lists are disjoint
+// and a k-way merge is exact.
+func (sh *Sharded) SubjectsOfClass(c dict.ID) []dict.ID {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].SubjectsOfClass(c)
+	}
+	var lists [][]dict.ID
+	total := 0
+	for _, s := range sh.shards {
+		if l := s.SubjectsOfClass(c); len(l) > 0 {
+			lists = append(lists, l)
+			total += len(l)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	out := make([]dict.ID, 0, total)
+	for len(lists) > 0 {
+		min := 0
+		for i := 1; i < len(lists); i++ {
+			if lists[i][0] < lists[min][0] {
+				min = i
+			}
+		}
+		out = append(out, lists[min][0])
+		if lists[min] = lists[min][1:]; len(lists[min]) == 0 {
+			lists[min] = lists[len(lists)-1]
+			lists = lists[:len(lists)-1]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DistinctValues returns the distinct IDs in the given position of
+// triples matching pat, with the same ordering contract as
+// Store.DistinctValues.
+func (sh *Sharded) DistinctValues(position int, pat Pattern) []dict.ID {
+	triples, o := sh.Match(pat)
+	return distinctValues(triples, o, pat.boundMask(), position)
+}
+
+// ShardedDelta is the sharded counterpart of Delta: one pending Delta per
+// shard, extended together and published together. Triples route to their
+// home shard by subject hash; a triple's entire history (insert, delete,
+// resurrect) plays out inside one shard's delta, so per-shard RDF set
+// semantics compose to exactly the unsharded semantics.
+type ShardedDelta struct {
+	base   *Sharded
+	deltas []*Delta
+}
+
+// NewDelta returns the pending sharded delta: each shard's own pending
+// delta (empty for plain shards), so updates over a sharded overlay
+// extend it rather than stack overlays.
+func (sh *Sharded) NewDelta() *ShardedDelta {
+	ds := make([]*Delta, len(sh.shards))
+	for i, s := range sh.shards {
+		ds[i] = s.NewDelta()
+	}
+	return &ShardedDelta{base: sh, deltas: ds}
+}
+
+// Base returns the Sharded the delta applies to.
+func (sd *ShardedDelta) Base() *Sharded { return sd.base }
+
+// ShardDelta returns shard i's pending delta.
+func (sd *ShardedDelta) ShardDelta(i int) *Delta { return sd.deltas[i] }
+
+// InsertCount returns the number of pending inserted triples across all
+// shards.
+func (sd *ShardedDelta) InsertCount() int {
+	n := 0
+	for _, d := range sd.deltas {
+		n += d.InsertCount()
+	}
+	return n
+}
+
+// DeleteCount returns the number of pending deleted triples across all
+// shards.
+func (sd *ShardedDelta) DeleteCount() int {
+	n := 0
+	for _, d := range sd.deltas {
+		n += d.DeleteCount()
+	}
+	return n
+}
+
+// Size returns the total number of pending changes.
+func (sd *ShardedDelta) Size() int { return sd.InsertCount() + sd.DeleteCount() }
+
+// Empty reports whether no shard has pending changes.
+func (sd *ShardedDelta) Empty() bool { return sd.Size() == 0 }
+
+// ApplyOps routes an ordered operation sequence to the shards and extends
+// each shard's delta (copy-on-write; the receiver is never mutated).
+// Insert terms are pre-encoded into the shared dictionary in operation
+// order first, so the dictionary assigns exactly the IDs an unsharded
+// ApplyOps would — row values, ORDER BY and plan signatures stay
+// bit-identical across shard counts even for updates that introduce new
+// terms. Returns sd itself when nothing changed, preserving the
+// pointer-equality no-op contract.
+func (sd *ShardedDelta) ApplyOps(ops []DeltaOp) (*ShardedDelta, error) {
+	for _, op := range ops {
+		for _, t := range op.Triples {
+			if !t.Valid() {
+				return nil, fmt.Errorf("store: invalid triple %v", t)
+			}
+		}
+	}
+	n := len(sd.deltas)
+	dd := sd.base.dict
+	for _, op := range ops {
+		if !op.Insert {
+			continue // deletes are lookup-only and never grow the dictionary
+		}
+		for _, t := range op.Triples {
+			dd.Encode(t.S)
+			dd.Encode(t.P)
+			dd.Encode(t.O)
+		}
+	}
+	routed := make([][]DeltaOp, n)
+	parts := make([][]rdf.Triple, n)
+	for _, op := range ops {
+		for i := range parts {
+			parts[i] = nil
+		}
+		for _, t := range op.Triples {
+			var (
+				sid dict.ID
+				ok  bool
+			)
+			if op.Insert {
+				sid = dd.Encode(t.S) // already encoded above; returns the ID
+			} else if sid, ok = dd.Lookup(t.S); !ok {
+				continue // unknown subject: the delete is a no-op everywhere
+			}
+			b := shardOf(sid, n)
+			parts[b] = append(parts[b], t)
+		}
+		for i, ts := range parts {
+			if len(ts) > 0 {
+				routed[i] = append(routed[i], DeltaOp{Insert: op.Insert, Triples: ts})
+			}
+		}
+	}
+	out := make([]*Delta, n)
+	changed := false
+	for i, d := range sd.deltas {
+		if len(routed[i]) == 0 {
+			out[i] = d
+			continue
+		}
+		nd, err := d.ApplyOps(routed[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = nd
+		if nd != d {
+			changed = true
+		}
+	}
+	if !changed {
+		return sd, nil
+	}
+	return &ShardedDelta{base: sd.base, deltas: out}, nil
+}
+
+// Overlay publishes the delta as a sharded overlay snapshot: every shard
+// with pending changes becomes an overlay store, the rest are shared
+// untouched.
+func (sd *ShardedDelta) Overlay() *Sharded {
+	if sd.Empty() {
+		return sd.base
+	}
+	return sd.publish(func(int, *Delta) bool { return false }, BuildOptions{})
+}
+
+// Commit folds every shard's pending delta into a fresh fully indexed
+// shard store.
+func (sd *ShardedDelta) Commit(opts BuildOptions) *Sharded {
+	if sd.Empty() {
+		return sd.base
+	}
+	return sd.publish(func(int, *Delta) bool { return true }, opts)
+}
+
+// Publish builds the next Sharded snapshot with a per-shard publication
+// decision: shards for which compact returns true fold their delta into a
+// fresh store (auto-compaction), the others publish overlays. Global
+// statistics are re-derived exactly for every predicate any shard's delta
+// touches, by merged in-order passes over the new shard set — the sharded
+// analog of Delta.patchedPredStats.
+func (sd *ShardedDelta) Publish(compact func(shard int, d *Delta) bool, opts BuildOptions) *Sharded {
+	if sd.Empty() {
+		return sd.base
+	}
+	return sd.publish(compact, opts)
+}
+
+func (sd *ShardedDelta) publish(compact func(shard int, d *Delta) bool, opts BuildOptions) *Sharded {
+	base := sd.base
+	shards := make([]*Store, len(sd.deltas))
+	total := 0
+	for i, d := range sd.deltas {
+		if compact(i, d) {
+			shards[i] = d.Commit(opts)
+		} else {
+			shards[i] = d.Overlay()
+		}
+		total += shards[i].Len()
+	}
+	out := &Sharded{shards: shards, dict: base.dict, n: total}
+	out.pstats = sd.patchedPredStats(out)
+	return out
+}
+
+// patchedPredStats rebuilds the global per-predicate statistics for every
+// predicate any shard's delta touches, by one merged in-order pass over
+// the new shard set per permutation (PSO for count + distinct subjects,
+// POS for distinct objects). Untouched predicates keep the base's exact
+// entries — the same incremental patching Delta.Overlay does, over merged
+// sharded runs.
+func (sd *ShardedDelta) patchedPredStats(next *Sharded) map[dict.ID]PredStats {
+	base := sd.base
+	touched := make(map[dict.ID]struct{})
+	for _, d := range sd.deltas {
+		for _, t := range d.ins[orderSPO] {
+			touched[t.P] = struct{}{}
+		}
+		for _, t := range d.del[orderSPO] {
+			touched[t.P] = struct{}{}
+		}
+	}
+	out := make(map[dict.ID]PredStats, len(base.pstats)+len(touched))
+	for p, st := range base.pstats {
+		out[p] = st
+	}
+	for p := range touched {
+		pat := Pattern{P: p}
+		st := PredStats{}
+		var lastS dict.ID
+		sc := next.ScanSeek(pat, []int{0, 2}) // PSO order: grouped by subject
+		for {
+			batch := sc.Next(4096)
+			if batch == nil {
+				break
+			}
+			for _, t := range batch {
+				st.Count++
+				if st.Count == 1 || t.S != lastS {
+					st.DistinctS++
+					lastS = t.S
+				}
+			}
+		}
+		if st.Count == 0 {
+			delete(out, p)
+			continue
+		}
+		var lastO dict.ID
+		distO := 0
+		sc = next.ScanSeek(pat, []int{2, 0}) // POS order: grouped by object
+		for {
+			batch := sc.Next(4096)
+			if batch == nil {
+				break
+			}
+			for _, t := range batch {
+				if distO == 0 || t.O != lastO {
+					distO++
+					lastO = t.O
+				}
+			}
+		}
+		st.DistinctO = distO
+		out[p] = st
+	}
+	return out
+}

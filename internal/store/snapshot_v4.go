@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"unsafe"
 
@@ -333,6 +334,27 @@ func (w *v4Writer) writeHeader(h *v4Header) {
 // done with the store (long-lived holders Retain their own reference).
 func OpenMapped(path string) (*Store, error) {
 	data, unmap, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := openMappedData(data, unmap)
+	if err != nil {
+		if unmap != nil && len(data) > 0 {
+			_ = unmap(data)
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// OpenMappedFile is OpenMapped over an already-open file. The mapping is
+// taken from f's descriptor directly, so callers that sniffed the format
+// from f (LoadAnyMapped) serve exactly the file they sniffed even if the
+// path has been rewritten since. f's read offset is irrelevant and the
+// caller keeps ownership of f (closing it does not invalidate the
+// mapping).
+func OpenMappedFile(f *os.File) (*Store, error) {
+	data, unmap, err := mmapFd(f)
 	if err != nil {
 		return nil, err
 	}
